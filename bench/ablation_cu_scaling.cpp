@@ -1,0 +1,82 @@
+// Ablation — inference latency vs compute-unit count.
+//
+// Shows where ELM and LSTM inference stop scaling (Amdahl: single-workgroup
+// reduction/score stages), explaining the paper's 3.28x / 2.22x engine
+// speedups and the choice of five CUs.
+#include <iostream>
+
+#include "rtad/core/report.hpp"
+#include "rtad/ml/dataset.hpp"
+#include "rtad/ml/kernel_compiler.hpp"
+#include "rtad/sim/rng.hpp"
+#include "rtad/workloads/spec_model.hpp"
+
+using namespace rtad;
+
+namespace {
+
+std::uint64_t inference_cycles(const ml::ModelImage& image,
+                               std::uint32_t num_cus,
+                               const std::vector<std::uint32_t>& payload) {
+  gpgpu::GpuConfig cfg;
+  cfg.num_cus = num_cus;
+  gpgpu::Gpu gpu(cfg);
+  ml::load_image(gpu, image);
+  // Warm once (state kernels), then measure.
+  ml::run_inference_offline(gpu, image, payload);
+  const auto before = gpu.total_cycles();
+  ml::run_inference_offline(gpu, image, payload);
+  return gpu.total_cycles() - before;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "ABLATION: INFERENCE LATENCY vs CU COUNT (GPU cycles @50 MHz)\n\n";
+
+  // ELM (320 hidden = 5 slices).
+  const auto& profile = workloads::find_profile("gcc");
+  ml::DatasetBuilder builder(profile, 11);
+  auto windows = builder.collect_elm(260);
+  ml::ElmConfig ecfg;
+  ecfg.input_dim = builder.config().elm_vocab;
+  ml::Elm elm(ecfg);
+  elm.train(windows.windows);
+  const auto elm_image =
+      ml::compile_elm(elm, ml::Threshold(1e9f), builder.config().elm_window);
+  std::vector<std::uint32_t> elm_payload(builder.config().elm_vocab, 1);
+
+  // LSTM.
+  ml::LstmConfig lcfg;
+  lcfg.epochs = 2;
+  ml::Lstm lstm(lcfg);
+  std::vector<std::uint32_t> tokens;
+  sim::Xoshiro256 rng(7);
+  for (int i = 0; i < 1'500; ++i) {
+    tokens.push_back(static_cast<std::uint32_t>(i % 9));
+  }
+  lstm.train(tokens);
+  const auto lstm_image = ml::compile_lstm(lstm, ml::Threshold(1e9f), 0.0f);
+
+  core::Table table({"CUs", "ELM cycles", "ELM us", "ELM speedup",
+                     "LSTM cycles", "LSTM us", "LSTM speedup"});
+  const auto elm_1 = inference_cycles(elm_image, 1, elm_payload);
+  const auto lstm_1 = inference_cycles(lstm_image, 1, {3u});
+  for (std::uint32_t cus = 1; cus <= 6; ++cus) {
+    const auto e = inference_cycles(elm_image, cus, elm_payload);
+    const auto l = inference_cycles(lstm_image, cus, {3u});
+    table.add_row({std::to_string(cus), core::fmt_count(e),
+                   core::fmt(static_cast<double>(e) / 50.0, 1),
+                   core::fmt(static_cast<double>(elm_1) / e, 2) + "x",
+                   core::fmt_count(l),
+                   core::fmt(static_cast<double>(l) / 50.0, 1),
+                   core::fmt(static_cast<double>(lstm_1) / l, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nELM scales to 5 CUs (5 hidden-slice workgroups); LSTM "
+               "gate computation uses 4 workgroups\nand its state/logits/"
+               "score stages are single-workgroup, capping the speedup — "
+               "the paper's 2.2x.\nBeyond 5 CUs nothing improves: that is "
+               "why ML-MIAOW ships 5 (all the trimmed area affords).\n";
+  return 0;
+}

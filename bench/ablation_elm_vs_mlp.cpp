@@ -1,0 +1,140 @@
+// Ablation — ELM vs a traditional MLP (§IV-C's claim: "the ELM model is
+// more lightweight than a traditional MLP while providing similar
+// accuracy"). Both are the same deployed autoencoder; the difference is
+// training: ELM solves one ridge system, the MLP backpropagates through
+// both layers. We compare training cost, detection quality and deployed
+// inference latency (identical kernels => identical latency).
+#include <chrono>
+#include <iostream>
+
+#include "rtad/core/report.hpp"
+#include "rtad/ml/dataset.hpp"
+#include "rtad/ml/kernel_compiler.hpp"
+#include "rtad/ml/mlp.hpp"
+#include "rtad/sim/rng.hpp"
+#include "rtad/workloads/spec_model.hpp"
+
+using namespace rtad;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<std::uint32_t> attack_window(const ml::DatasetBuilder& builder,
+                                         const workloads::SpecProfile& p,
+                                         sim::Xoshiro256& rng) {
+  // Syscall-storm windows (the fig8 attack shape): the exploit loops on one
+  // legitimate syscall, so half the window collapses onto one bucket.
+  std::vector<std::uint32_t> counts(builder.config().elm_vocab, 0);
+  const std::uint64_t storm = workloads::TraceGenerator::syscall_address(
+      rng.uniform_below(p.syscall_kinds));
+  for (std::uint32_t i = 0; i < builder.config().elm_window; ++i) {
+    const std::uint64_t addr =
+        i % 2 == 0 ? storm
+                   : workloads::TraceGenerator::syscall_address(
+                         rng.uniform_below(p.syscall_kinds));
+    ++counts[builder.elm_bucket(addr)];
+  }
+  return counts;
+}
+
+std::uint64_t device_latency_cycles(const ml::ModelImage& image,
+                                    std::uint32_t d) {
+  gpgpu::GpuConfig cfg;
+  cfg.num_cus = 5;
+  gpgpu::Gpu gpu(cfg);
+  ml::load_image(gpu, image);
+  std::vector<std::uint32_t> payload(d, 2);
+  ml::run_inference_offline(gpu, image, payload);
+  const auto before = gpu.total_cycles();
+  ml::run_inference_offline(gpu, image, payload);
+  return gpu.total_cycles() - before;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "ABLATION: ELM vs TRADITIONAL MLP (400.perlbench syscall "
+               "windows)\n\n";
+  const auto& p = workloads::find_profile("perlbench");
+  ml::DatasetBuilder builder(p, 77);
+  auto data = builder.collect_elm(520);
+  std::vector<ml::Vector> train(data.windows.begin(),
+                                data.windows.begin() + 400);
+  std::vector<ml::Vector> val(data.windows.begin() + 400, data.windows.end());
+  const std::uint32_t d = builder.config().elm_vocab;
+
+  // --- train both ---
+  ml::ElmConfig ecfg;
+  ecfg.input_dim = d;
+  ml::Elm elm(ecfg);
+  auto t0 = std::chrono::steady_clock::now();
+  elm.train(train);
+  const double elm_train_ms = ms_since(t0);
+
+  ml::MlpConfig mcfg;
+  mcfg.input_dim = d;
+  mcfg.hidden = ecfg.hidden;
+  ml::Mlp mlp(mcfg);
+  t0 = std::chrono::steady_clock::now();
+  mlp.train(train);
+  const double mlp_train_ms = ms_since(t0);
+
+  // --- calibrate + evaluate detection quality ---
+  auto evaluate = [&](auto& model) {
+    std::vector<float> val_scores;
+    for (const auto& w : val) val_scores.push_back(model.score(w));
+    const auto thr = ml::Threshold::calibrate(val_scores, 99.0, 1.1f);
+    sim::Xoshiro256 rng(5);
+    std::vector<float> attack_scores;
+    for (int i = 0; i < 60; ++i) {
+      const auto counts = attack_window(builder, p, rng);
+      ml::Vector x(d);
+      for (std::size_t j = 0; j < x.size(); ++j) {
+        x[j] = static_cast<float>(counts[j]) /
+               static_cast<float>(builder.config().elm_window);
+      }
+      attack_scores.push_back(model.score(x));
+    }
+    return std::make_pair(thr, ml::evaluate_detection(thr, val_scores,
+                                                      attack_scores));
+  };
+  const auto [elm_thr, elm_stats] = evaluate(elm);
+  const auto [mlp_thr, mlp_stats] = evaluate(mlp);
+
+  // --- deployed latency (identical kernels, identical cycles) ---
+  const auto elm_image =
+      ml::compile_elm(elm, elm_thr, builder.config().elm_window);
+  const auto mlp_image =
+      ml::compile_mlp(mlp, mlp_thr, builder.config().elm_window);
+  const auto elm_cycles = device_latency_cycles(elm_image, d);
+  const auto mlp_cycles = device_latency_cycles(mlp_image, d);
+
+  core::Table table({"Model", "trained params", "train time (ms)",
+                     "TPR", "FPR", "ML-MIAOW cycles/inference"});
+  table.add_row({"ELM",
+                 core::fmt_count(static_cast<std::uint64_t>(
+                     elm.readout().rows() * elm.readout().cols())),
+                 core::fmt(elm_train_ms, 1),
+                 core::fmt(elm_stats.true_positive_rate(), 2),
+                 core::fmt(elm_stats.false_positive_rate(), 2),
+                 core::fmt_count(elm_cycles)});
+  table.add_row({"MLP", core::fmt_count(mlp.parameter_count()),
+                 core::fmt(mlp_train_ms, 1),
+                 core::fmt(mlp_stats.true_positive_rate(), 2),
+                 core::fmt(mlp_stats.false_positive_rate(), 2),
+                 core::fmt_count(mlp_cycles)});
+  table.print(std::cout);
+
+  std::cout << "\nTraining-cost ratio (MLP/ELM): "
+            << core::fmt(mlp_train_ms / std::max(0.01, elm_train_ms), 1)
+            << "x — the ELM trains its readout with one linear solve.\n"
+            << "Deployed latency is identical by construction (same kernels),"
+               " which is the paper's point:\nELM gives MLP-class accuracy at"
+               " a fraction of the training cost and a lighter model.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "rtad/bus/memory.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace rtad::bus {
+
+Memory::Memory(std::size_t size_bytes) : bytes_(size_bytes, 0) {
+  if (size_bytes == 0 || size_bytes % 4 != 0) {
+    throw std::invalid_argument("memory size must be a nonzero multiple of 4");
+  }
+}
+
+void Memory::check(std::uint64_t addr, std::size_t n) const {
+  if (addr + n > bytes_.size() || addr + n < addr) {
+    throw std::out_of_range("memory access at 0x" + std::to_string(addr) +
+                            " size " + std::to_string(n) + " out of range");
+  }
+  if (n > 1 && addr % n != 0) {
+    throw std::invalid_argument("unaligned memory access");
+  }
+}
+
+std::uint32_t Memory::read32(std::uint64_t addr) const {
+  check(addr, 4);
+  std::uint32_t v;
+  std::memcpy(&v, bytes_.data() + addr, 4);
+  return v;
+}
+
+void Memory::write32(std::uint64_t addr, std::uint32_t value) {
+  check(addr, 4);
+  std::memcpy(bytes_.data() + addr, &value, 4);
+}
+
+std::uint64_t Memory::read64(std::uint64_t addr) const {
+  check(addr, 8);
+  std::uint64_t v;
+  std::memcpy(&v, bytes_.data() + addr, 8);
+  return v;
+}
+
+void Memory::write64(std::uint64_t addr, std::uint64_t value) {
+  check(addr, 8);
+  std::memcpy(bytes_.data() + addr, &value, 8);
+}
+
+float Memory::read_f32(std::uint64_t addr) const {
+  const std::uint32_t bits = read32(addr);
+  float f;
+  std::memcpy(&f, &bits, 4);
+  return f;
+}
+
+void Memory::write_f32(std::uint64_t addr, float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, 4);
+  write32(addr, bits);
+}
+
+std::uint8_t Memory::read8(std::uint64_t addr) const {
+  check(addr, 1);
+  return bytes_[addr];
+}
+
+void Memory::write8(std::uint64_t addr, std::uint8_t value) {
+  check(addr, 1);
+  bytes_[addr] = value;
+}
+
+void Memory::fill(std::uint8_t value) noexcept {
+  std::fill(bytes_.begin(), bytes_.end(), value);
+}
+
+}  // namespace rtad::bus

@@ -1,0 +1,38 @@
+// Shared DDR memory model behind the NIC-301 interconnect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtad/bus/slave.hpp"
+
+namespace rtad::bus {
+
+/// Byte-addressable RAM with 32-bit data port semantics (AXI3 narrow
+/// transfers are not modeled; RTAD masters issue aligned word beats).
+class Memory final : public Slave {
+ public:
+  /// `size_bytes` must be a multiple of 4.
+  explicit Memory(std::size_t size_bytes);
+
+  std::uint32_t read32(std::uint64_t addr) const override;
+  void write32(std::uint64_t addr, std::uint32_t value) override;
+
+  std::uint64_t read64(std::uint64_t addr) const;
+  void write64(std::uint64_t addr, std::uint64_t value);
+
+  float read_f32(std::uint64_t addr) const;
+  void write_f32(std::uint64_t addr, float value);
+
+  std::uint8_t read8(std::uint64_t addr) const;
+  void write8(std::uint64_t addr, std::uint8_t value);
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+  void fill(std::uint8_t value) noexcept;
+
+ private:
+  void check(std::uint64_t addr, std::size_t n) const;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace rtad::bus

@@ -1,0 +1,41 @@
+#include "rtad/bus/mmio.hpp"
+
+#include <stdexcept>
+
+namespace rtad::bus {
+
+void MmioRegion::on_read(std::uint64_t offset, ReadFn fn) {
+  if (offset % 4 != 0 || offset >= size_) {
+    throw std::invalid_argument("bad MMIO read hook offset");
+  }
+  readers_[offset] = std::move(fn);
+}
+
+void MmioRegion::on_write(std::uint64_t offset, WriteFn fn) {
+  if (offset % 4 != 0 || offset >= size_) {
+    throw std::invalid_argument("bad MMIO write hook offset");
+  }
+  writers_[offset] = std::move(fn);
+}
+
+std::uint32_t MmioRegion::read32(std::uint64_t addr) const {
+  if (addr % 4 != 0 || addr >= size_) {
+    throw std::out_of_range("MMIO read out of range");
+  }
+  if (auto it = readers_.find(addr); it != readers_.end()) return it->second();
+  if (auto it = scratch_.find(addr); it != scratch_.end()) return it->second;
+  return 0;
+}
+
+void MmioRegion::write32(std::uint64_t addr, std::uint32_t value) {
+  if (addr % 4 != 0 || addr >= size_) {
+    throw std::out_of_range("MMIO write out of range");
+  }
+  if (auto it = writers_.find(addr); it != writers_.end()) {
+    it->second(value);
+    return;
+  }
+  scratch_[addr] = value;
+}
+
+}  // namespace rtad::bus

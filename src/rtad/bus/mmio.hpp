@@ -1,0 +1,36 @@
+// Memory-mapped register block (MCM configuration space, IGM tables, ...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "rtad/bus/slave.hpp"
+
+namespace rtad::bus {
+
+/// A register file slave: each word offset can carry read/write callbacks.
+/// Unhooked offsets behave as plain scratch registers so drivers can probe.
+class MmioRegion final : public Slave {
+ public:
+  using ReadFn = std::function<std::uint32_t()>;
+  using WriteFn = std::function<void(std::uint32_t)>;
+
+  explicit MmioRegion(std::size_t size_bytes) : size_(size_bytes) {}
+
+  void on_read(std::uint64_t offset, ReadFn fn);
+  void on_write(std::uint64_t offset, WriteFn fn);
+
+  std::uint32_t read32(std::uint64_t addr) const override;
+  void write32(std::uint64_t addr, std::uint32_t value) override;
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::size_t size_;
+  std::map<std::uint64_t, ReadFn> readers_;
+  std::map<std::uint64_t, WriteFn> writers_;
+  mutable std::map<std::uint64_t, std::uint32_t> scratch_;
+};
+
+}  // namespace rtad::bus

@@ -1,0 +1,18 @@
+// AXI slave port interface.
+#pragma once
+
+#include <cstdint>
+
+namespace rtad::bus {
+
+/// Functional view of an AXI slave: aligned 32-bit single-beat transfers.
+/// Timing (arbitration + beat costs) is applied by the Interconnect, not by
+/// the slaves, mirroring how NIC-301 inserts register slices on each path.
+class Slave {
+ public:
+  virtual ~Slave() = default;
+  virtual std::uint32_t read32(std::uint64_t addr) const = 0;
+  virtual void write32(std::uint64_t addr, std::uint32_t value) = 0;
+};
+
+}  // namespace rtad::bus

@@ -1,0 +1,54 @@
+// Top-level RTAD configuration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "rtad/attack/injector.hpp"
+#include "rtad/coresight/ptm.hpp"
+#include "rtad/cpu/instrumentation.hpp"
+#include "rtad/igm/igm.hpp"
+#include "rtad/mcm/mcm.hpp"
+#include "rtad/workloads/spec_model.hpp"
+
+namespace rtad::core {
+
+/// Which inference engine is instantiated in the MLPU.
+enum class EngineKind : std::uint8_t {
+  kMiaow,    ///< original MIAOW: untrimmed, 1 CU (all that fits the FPGA)
+  kMlMiaow,  ///< trimmed ML-MIAOW: 5 CUs in the same area budget
+};
+
+const char* to_string(EngineKind kind) noexcept;
+
+/// Which anomaly model is deployed.
+enum class ModelKind : std::uint8_t {
+  kElm,   ///< syscall-window ELM [2]
+  kLstm,  ///< monitored-branch LSTM [8]
+};
+
+const char* to_string(ModelKind kind) noexcept;
+
+/// Clock plan of the prototype (§IV): CPU 250 MHz, MLPU fabric 125 MHz,
+/// ML-MIAOW 50 MHz.
+struct ClockPlan {
+  std::uint64_t cpu_hz = 250'000'000;
+  std::uint64_t fabric_hz = 125'000'000;
+  std::uint64_t gpu_hz = 50'000'000;
+};
+
+struct SocConfig {
+  workloads::SpecProfile profile;
+  cpu::InstrumentationMode mode = cpu::InstrumentationMode::kRtad;
+  EngineKind engine = EngineKind::kMlMiaow;
+  ModelKind model = ModelKind::kLstm;
+  std::uint64_t seed = 1;
+  ClockPlan clocks{};
+  coresight::PtmConfig ptm{};
+  igm::IgmConfig igm{};
+  mcm::McmConfig mcm{};
+  std::uint32_t gpu_dispatch_latency = 8;
+  std::optional<attack::AttackConfig> attack;
+};
+
+}  // namespace rtad::core

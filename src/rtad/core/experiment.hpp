@@ -1,0 +1,109 @@
+// Reusable experiment drivers behind the paper's evaluation (§IV).
+//
+// The bench binaries (bench/) print the tables; the logic lives here so it
+// is unit-testable and shared with the examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtad/core/rtad_soc.hpp"
+#include "rtad/core/sw_reference.hpp"
+#include "rtad/ml/threshold.hpp"
+
+namespace rtad::core {
+
+// ---------------------------------------------------------------- training
+
+struct TrainingOptions {
+  std::size_t lstm_train_tokens = 3'000;
+  std::size_t lstm_val_tokens = 800;
+  std::size_t elm_train_windows = 400;
+  std::size_t elm_val_windows = 150;
+  ml::LstmConfig lstm{};  ///< vocab/hidden must stay 64/64 for the device
+  ml::ElmConfig elm{};    ///< input_dim is overridden from the features
+  double threshold_percentile = 99.5;
+  float threshold_margin = 1.05f;
+  std::uint64_t seed = 42;
+};
+
+/// Everything needed to deploy both models on a benchmark: feature tables,
+/// trained host models, calibrated thresholds, and compiled device images.
+struct TrainedModels {
+  std::unique_ptr<ml::DatasetBuilder> features;
+  std::unique_ptr<ml::Elm> elm;
+  std::unique_ptr<ml::Lstm> lstm;
+  ml::Threshold elm_threshold;
+  ml::Threshold lstm_threshold;
+  ml::ModelImage elm_image;
+  ml::ModelImage lstm_image;
+  float lstm_val_mean_nll = 0.0f;
+  float lstm_train_final_nll = 0.0f;
+
+  const ml::ModelImage& image(ModelKind kind) const {
+    return kind == ModelKind::kElm ? elm_image : lstm_image;
+  }
+};
+
+TrainedModels train_models(const workloads::SpecProfile& profile,
+                           const TrainingOptions& options = {});
+
+// ------------------------------------------------------------------ Fig. 6
+
+/// Run `instructions` of the benchmark under a collection mechanism and
+/// return the CPU overhead in percent over Baseline.
+double measure_overhead(const workloads::SpecProfile& profile,
+                        cpu::InstrumentationMode mode,
+                        std::uint64_t instructions = 400'000,
+                        std::uint64_t seed = 3);
+
+// ------------------------------------------------------------------ Fig. 7
+
+/// Measured RTAD transfer-path breakdown: (1) PTM buffering + trace decode,
+/// (2) IGM vector generation (2 fabric cycles), (3) MCM TX into ML-MIAOW.
+TransferBreakdown measure_rtad_transfer(const workloads::SpecProfile& profile,
+                                        const TrainedModels& models,
+                                        ModelKind model, EngineKind engine,
+                                        std::size_t samples = 40,
+                                        std::uint64_t seed = 5);
+
+// ------------------------------------------------------------------ Fig. 8
+
+struct DetectionResult {
+  std::string benchmark;
+  ModelKind model = ModelKind::kLstm;
+  EngineKind engine = EngineKind::kMlMiaow;
+  std::size_t attacks = 0;
+  std::size_t detections = 0;
+  double mean_latency_us = 0.0;
+  double min_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  std::uint64_t fifo_drops = 0;       ///< MCM input FIFO overflows (§IV-C)
+  std::uint64_t false_positives = 0;  ///< anomaly flags with no attack live
+  std::uint64_t inferences = 0;
+};
+
+struct DetectionOptions {
+  std::size_t attacks = 10;
+  std::uint32_t burst_events = 16;
+  sim::Picoseconds attack_deadline_ps = 80 * sim::kPsPerMs;
+  /// An anomaly flag is attributed to the attack only if it lands within
+  /// this window of the first aberrant branch; later flags are treated as
+  /// a miss (plus background noise), not as an absurd "detection latency".
+  sim::Picoseconds attribution_window_ps = 8 * sim::kPsPerMs;
+  std::uint64_t seed = 17;
+  /// ELM runs use a compressed syscall interval so the window warms up in
+  /// simulated milliseconds instead of seconds; detection latency is
+  /// unaffected (syscall interarrival stays far above the inference time,
+  /// preserving the paper's "constant ELM latency" property).
+  std::uint64_t elm_syscall_interval_cap = 50'000;
+};
+
+DetectionResult measure_detection(const workloads::SpecProfile& profile,
+                                  const TrainedModels& models, ModelKind model,
+                                  EngineKind engine,
+                                  const DetectionOptions& options = {});
+
+}  // namespace rtad::core

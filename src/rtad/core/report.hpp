@@ -1,0 +1,30 @@
+// Plain-text table rendering for the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rtad::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34").
+std::string fmt(double value, int precision = 2);
+
+/// Thousands-separated integer ("1,927,294").
+std::string fmt_count(std::uint64_t value);
+
+}  // namespace rtad::core

@@ -1,0 +1,174 @@
+#include "rtad/core/rtad_soc.hpp"
+
+#include <stdexcept>
+
+#include "rtad/gpgpu/rtl_inventory.hpp"
+
+namespace rtad::core {
+
+const char* to_string(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kMiaow: return "MIAOW";
+    case EngineKind::kMlMiaow: return "ML-MIAOW";
+  }
+  return "?";
+}
+
+const char* to_string(ModelKind kind) noexcept {
+  switch (kind) {
+    case ModelKind::kElm: return "ELM";
+    case ModelKind::kLstm: return "LSTM";
+  }
+  return "?";
+}
+
+gpgpu::GpuConfig gpu_config_for(EngineKind kind,
+                                std::uint32_t dispatch_latency) {
+  gpgpu::GpuConfig cfg;
+  cfg.dispatch_latency = dispatch_latency;
+  cfg.num_cus = kind == EngineKind::kMlMiaow ? 5 : 1;
+  return cfg;
+}
+
+RtadSoc::RtadSoc(SocConfig config, const ml::ModelImage* image,
+                 const ml::DatasetBuilder* features)
+    : config_(std::move(config)) {
+  if (image != nullptr && features == nullptr) {
+    throw std::invalid_argument("a model image requires feature tables");
+  }
+
+  // --- workload + attack path ---
+  generator_ = std::make_unique<workloads::TraceGenerator>(config_.profile,
+                                                           config_.seed);
+  generator_source_ = std::make_unique<cpu::GeneratorSource>(*generator_);
+
+  std::vector<std::uint64_t> pool;
+  attack::AttackConfig attack_cfg =
+      config_.attack.value_or(attack::AttackConfig{});
+  if (features != nullptr) {
+    if (config_.model == ModelKind::kElm) {
+      attack_cfg.as_syscalls = true;
+      for (std::size_t i = 0; i < config_.profile.syscall_kinds; ++i) {
+        pool.push_back(workloads::TraceGenerator::syscall_address(i));
+      }
+    } else {
+      attack_cfg.as_syscalls = false;
+      pool = features->monitored_addresses();
+    }
+  } else {
+    pool.push_back(config_.profile.code_base);  // unused placeholder
+  }
+  injector_ =
+      std::make_unique<attack::AttackInjector>(*generator_source_, pool,
+                                               attack_cfg);
+
+  // --- clock domains (register fast first: producers tick before
+  // consumers at coincident edges) ---
+  auto& cpu_clk = sim_.add_clock("cpu", config_.clocks.cpu_hz);
+  auto& fabric_clk = sim_.add_clock("mlpu", config_.clocks.fabric_hz);
+  auto& gpu_clk = sim_.add_clock("gpu", config_.clocks.gpu_hz);
+
+  // --- CoreSight ---
+  coresight::PtmConfig ptm_cfg = config_.ptm;
+  ptm_cfg.enabled = cpu::uses_ptm(config_.mode);
+  ptm_ = std::make_unique<coresight::Ptm>(ptm_cfg);
+  tpiu_ = std::make_unique<coresight::Tpiu>(ptm_->tx_fifo());
+
+  // --- host CPU ---
+  cpu::HostCpuConfig cpu_cfg;
+  cpu_cfg.clock_period_ps = cpu_clk.period_ps();
+  cpu_cfg.mode = config_.mode;
+  cpu_ = std::make_unique<cpu::HostCpu>(cpu_cfg, *injector_, ptm_.get());
+
+  // --- MLPU ---
+  igm::IgmConfig igm_cfg = config_.igm;
+  igm_cfg.clock_period_ps = fabric_clk.period_ps();
+  if (config_.model == ModelKind::kElm) {
+    igm_cfg.encoder.encoding = igm::Encoding::kSlidingHistogram;
+    igm_cfg.encoder.hash_fallback = true;
+    if (features != nullptr) {
+      igm_cfg.encoder.vocab_size = features->config().elm_vocab;
+      igm_cfg.encoder.window = features->config().elm_window;
+    }
+  } else {
+    igm_cfg.encoder.encoding = igm::Encoding::kTokenStream;
+    igm_cfg.encoder.hash_fallback = false;
+    if (features != nullptr) {
+      igm_cfg.encoder.vocab_size = features->config().lstm_vocab;
+    }
+  }
+  igm_ = std::make_unique<igm::Igm>(igm_cfg, tpiu_->port());
+
+  gpu_ = std::make_unique<gpgpu::Gpu>(
+      gpu_config_for(config_.engine, config_.gpu_dispatch_latency));
+  if (config_.engine == EngineKind::kMlMiaow) {
+    gpu_->set_trim(gpgpu::RtlInventory::instance().ml_retained());
+  }
+
+  mcm::McmConfig mcm_cfg = config_.mcm;
+  mcm_cfg.clock_period_ps = fabric_clk.period_ps();
+  mcm_ = std::make_unique<mcm::Mcm>(mcm_cfg, *igm_, *gpu_);
+
+  // IRQ wiring: MCM interrupt manager -> host CPU.
+  mcm_->set_interrupt_handler([this](const mcm::InferenceRecord& rec) {
+    cpu_->raise_irq(rec.completed_ps);
+  });
+
+  // --- IGM tables + model load ---
+  if (features != nullptr) program_igm_tables(*features);
+  if (image != nullptr) mcm_->load_model(image);
+
+  // --- attach to clocks ---
+  sim_.attach(cpu_clk, *cpu_);
+  sim_.attach(cpu_clk, *ptm_);
+  const bool mlpu_active = cpu::uses_ptm(config_.mode);
+  if (mlpu_active) {
+    sim_.attach(fabric_clk, *tpiu_);
+    sim_.attach(fabric_clk, *igm_);
+    sim_.attach(fabric_clk, *mcm_);
+    sim_.attach(gpu_clk, *gpu_);
+  }
+}
+
+RtadSoc::~RtadSoc() = default;
+
+void RtadSoc::program_igm_tables(const ml::DatasetBuilder& features) {
+  auto& mapper = igm_->mapper();
+  auto& encoder = igm_->encoder();
+  mapper.clear();
+  if (config_.model == ModelKind::kElm) {
+    // Pass the kernel syscall-entry range; histogram buckets come from the
+    // shared hash, so no per-address conversion entries are needed.
+    mapper.add_range(workloads::kSyscallBase,
+                     workloads::kSyscallStride * 256);
+  } else {
+    const auto& monitored = features.monitored_addresses();
+    for (std::size_t i = 0; i < monitored.size(); ++i) {
+      mapper.add_exact(monitored[i]);
+      encoder.map_address(monitored[i], static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+void RtadSoc::run_for_instructions(std::uint64_t n,
+                                   sim::Picoseconds deadline_ps) {
+  const std::uint64_t target = cpu_->program_instructions() + n;
+  sim_.run_while(
+      [this, target] { return cpu_->program_instructions() < target; },
+      deadline_ps);
+}
+
+void RtadSoc::run_until(sim::Picoseconds deadline_ps) {
+  sim_.run_until(deadline_ps);
+}
+
+sim::Picoseconds RtadSoc::run_while(const std::function<bool()>& keep_going,
+                                    sim::Picoseconds deadline_ps) {
+  return sim_.run_while(keep_going, deadline_ps);
+}
+
+void RtadSoc::arm_attack(std::uint64_t trigger_instruction) {
+  injector_->arm(trigger_instruction);
+}
+
+}  // namespace rtad::core

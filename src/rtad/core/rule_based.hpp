@@ -1,0 +1,41 @@
+// Rule-based detection baseline — the conventional defense the paper's
+// introduction argues against: "the defense systems based on fixed sets of
+// rules will easily be subverted by such unexpected, unknown attacks."
+//
+// The detector whitelists the branch-target addresses observed during
+// normal operation (a coarse CFI policy) and flags anything outside the
+// set. It trivially catches random-address attacks, and — by construction —
+// *cannot* catch the paper's legitimate-address replay attacks, which is
+// exactly why RTAD deploys learning-based models instead. The comparison
+// bench quantifies that gap.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "rtad/cpu/branch_event.hpp"
+
+namespace rtad::core {
+
+class RuleBasedDetector {
+ public:
+  /// Learn the whitelist from a normal event stream.
+  void learn(const cpu::BranchEvent& event) {
+    if (event.taken && cpu::is_waypoint(event.kind)) {
+      whitelist_.insert(event.target);
+    }
+  }
+
+  /// Judge one event: true = anomaly (target never seen in training).
+  bool anomalous(const cpu::BranchEvent& event) const {
+    if (!event.taken || !cpu::is_waypoint(event.kind)) return false;
+    return !whitelist_.contains(event.target);
+  }
+
+  std::size_t whitelist_size() const noexcept { return whitelist_.size(); }
+
+ private:
+  std::unordered_set<std::uint64_t> whitelist_;
+};
+
+}  // namespace rtad::core

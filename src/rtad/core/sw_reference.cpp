@@ -1,0 +1,21 @@
+#include "rtad/core/sw_reference.hpp"
+
+namespace rtad::core {
+
+TransferBreakdown sw_transfer_breakdown(std::uint32_t words,
+                                        const ClockPlan& clocks,
+                                        const SwPathCosts& costs) {
+  const double cpu_us = 1e6 / static_cast<double>(clocks.cpu_hz);
+  const double bus_us = 1e6 / static_cast<double>(clocks.fabric_hz);
+
+  TransferBreakdown b;
+  b.step1_us = costs.read_instructions * cpu_us;
+  b.step2_us = (costs.refine_base_instructions +
+                static_cast<double>(costs.refine_per_word_instructions) * words) *
+               cpu_us;
+  b.step3_us = costs.driver_overhead_instructions * cpu_us +
+               static_cast<double>(costs.bus_cycles_per_word) * words * bus_us;
+  return b;
+}
+
+}  // namespace rtad::core

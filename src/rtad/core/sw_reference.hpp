@@ -1,0 +1,42 @@
+// Software reference data path (the "SW" bars of Fig. 7).
+//
+// When the collection/transfer pipeline is implemented in software, the
+// host must (1) read the gathered branch record out of the instrumentation
+// buffer, (2) refine it into the input-vector form, and (3) copy the vector
+// into the peripheral memory of the MCM. This model prices each step in
+// host instructions / bus beats, using the prototype's clock plan, and is
+// calibrated so a 32-word vector lands near the paper's 1.1 / 7.38 /
+// 11.5 us split.
+#pragma once
+
+#include <cstdint>
+
+#include "rtad/core/config.hpp"
+
+namespace rtad::core {
+
+struct TransferBreakdown {
+  double step1_us = 0.0;  ///< read / decode the branch record
+  double step2_us = 0.0;  ///< build the input vector
+  double step3_us = 0.0;  ///< move the vector into ML-MIAOW memory
+  double total_us() const noexcept { return step1_us + step2_us + step3_us; }
+};
+
+struct SwPathCosts {
+  // Step 1: buffer read + record parse.
+  std::uint32_t read_instructions = 275;
+  // Step 2: vector construction — fixed bookkeeping + per-word work
+  // ("multiple data read/write transfers to calculate the input vector").
+  std::uint32_t refine_base_instructions = 400;
+  std::uint32_t refine_per_word_instructions = 45;
+  // Step 3: driver entry (ioctl/mmap bookkeeping) + uncached AXI writes.
+  std::uint32_t driver_overhead_instructions = 2700;
+  std::uint32_t bus_cycles_per_word = 3;  ///< at the 125 MHz fabric clock
+};
+
+/// Predicted software-path latency for a `words`-long input vector.
+TransferBreakdown sw_transfer_breakdown(std::uint32_t words,
+                                        const ClockPlan& clocks = {},
+                                        const SwPathCosts& costs = {});
+
+}  // namespace rtad::core

@@ -1,0 +1,66 @@
+#include "rtad/coresight/ptm.hpp"
+
+namespace rtad::coresight {
+
+Ptm::Ptm(PtmConfig config)
+    : sim::Component("ptm"),
+      config_(config),
+      trace_fifo_(config.fifo_bytes),
+      tx_fifo_(config.fifo_bytes) {}
+
+void Ptm::reset() {
+  encoder_.reset();
+  trace_fifo_.clear();
+  tx_fifo_.clear();
+  draining_ = false;
+  cycles_since_drain_ = 0;
+  bytes_since_sync_ = 0;
+  sent_initial_sync_ = false;
+  bytes_generated_ = 0;
+  events_traced_ = 0;
+}
+
+void Ptm::enqueue_bytes(const std::vector<std::uint8_t>& bytes,
+                        const cpu::BranchEvent& event) {
+  for (std::uint8_t b : bytes) {
+    trace_fifo_.try_push(
+        TraceByte{b, event.retired_ps, event.seq, event.injected});
+  }
+  bytes_generated_ += bytes.size();
+  bytes_since_sync_ += bytes.size();
+}
+
+void Ptm::submit(const cpu::BranchEvent& event) {
+  if (!config_.enabled) return;
+  ++events_traced_;
+  scratch_.clear();
+  if (!sent_initial_sync_ || bytes_since_sync_ >= config_.sync_interval_bytes) {
+    encoder_.emit_sync(event.source, event.context_id, scratch_);
+    bytes_since_sync_ = 0;
+    sent_initial_sync_ = true;
+  }
+  encoder_.encode(event, scratch_);
+  enqueue_bytes(scratch_, event);
+}
+
+void Ptm::tick() {
+  if (!config_.enabled) return;
+  ++cycles_since_drain_;
+
+  if (!draining_) {
+    const bool threshold_hit = trace_fifo_.size() >= config_.flush_threshold;
+    const bool timeout = !trace_fifo_.empty() &&
+                         cycles_since_drain_ >= config_.drain_timeout_cycles;
+    if (threshold_hit || timeout) draining_ = true;
+  }
+  if (!draining_) return;
+
+  for (std::uint32_t i = 0; i < config_.drain_width; ++i) {
+    if (trace_fifo_.empty() || tx_fifo_.full()) break;
+    tx_fifo_.push(*trace_fifo_.pop());
+  }
+  cycles_since_drain_ = 0;
+  if (trace_fifo_.empty()) draining_ = false;
+}
+
+}  // namespace rtad::coresight

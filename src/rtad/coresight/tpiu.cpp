@@ -1,0 +1,24 @@
+#include "rtad/coresight/tpiu.hpp"
+
+namespace rtad::coresight {
+
+Tpiu::Tpiu(sim::Fifo<TraceByte>& source, std::size_t port_fifo_words)
+    : sim::Component("tpiu"), source_(source), port_(port_fifo_words) {}
+
+void Tpiu::reset() {
+  port_.clear();
+  words_emitted_ = 0;
+}
+
+void Tpiu::tick() {
+  if (source_.empty() || port_.full()) return;
+  TpiuWord word;
+  while (word.count < 4 && !source_.empty()) {
+    word.bytes[word.count] = *source_.pop();
+    ++word.count;
+  }
+  port_.push(word);
+  ++words_emitted_;
+}
+
+}  // namespace rtad::coresight

@@ -1,0 +1,52 @@
+// CoreSight TPIU model (Trace Port Interface Unit).
+//
+// In the RTAD prototype the TPIU's trace-port pins are routed on-chip to the
+// MLPU instead of off-chip (§III-A / Fig. 1). The TPIU formats the PTM byte
+// stream into 32-bit words — the width of the IGM input port — emitting up
+// to one word (4 trace bytes) per 125 MHz fabric cycle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rtad/coresight/ptm.hpp"
+#include "rtad/sim/component.hpp"
+#include "rtad/sim/fifo.hpp"
+
+namespace rtad::coresight {
+
+/// One formatted trace-port word: up to four bytes, in stream order.
+struct TpiuWord {
+  std::array<TraceByte, 4> bytes{};
+  std::uint8_t count = 0;
+
+  std::uint32_t data() const noexcept {
+    std::uint32_t v = 0;
+    for (int i = 0; i < count; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[static_cast<std::size_t>(i)].value)
+           << (8 * i);
+    }
+    return v;
+  }
+};
+
+class Tpiu final : public sim::Component {
+ public:
+  /// `source` is the PTM's tx FIFO; `port_fifo_words` sizes the output FIFO
+  /// feeding the IGM trace port.
+  explicit Tpiu(sim::Fifo<TraceByte>& source, std::size_t port_fifo_words = 64);
+
+  sim::Fifo<TpiuWord>& port() noexcept { return port_; }
+
+  void tick() override;
+  void reset() override;
+
+  std::uint64_t words_emitted() const noexcept { return words_emitted_; }
+
+ private:
+  sim::Fifo<TraceByte>& source_;
+  sim::Fifo<TpiuWord> port_;
+  std::uint64_t words_emitted_ = 0;
+};
+
+}  // namespace rtad::coresight

@@ -1,0 +1,42 @@
+// Branch events as seen at the CPU retirement stage.
+//
+// A sequence of these is the ground truth the whole RTAD pipeline consumes:
+// the PTM compresses them into a PFT trace stream, the IGM recovers the
+// addresses, and the ML models judge whether the sequence looks normal.
+#pragma once
+
+#include <cstdint>
+
+#include "rtad/sim/time.hpp"
+
+namespace rtad::cpu {
+
+enum class BranchKind : std::uint8_t {
+  kConditional,   ///< direct conditional branch (PFT atom; address implicit)
+  kCall,          ///< function call (waypoint: emits a branch-address packet)
+  kReturn,        ///< function return (indirect; emits address packet)
+  kIndirectJump,  ///< computed jump (emits address packet)
+  kSyscall,       ///< SVC into the kernel (exception-flavored address packet)
+};
+
+/// True when this branch kind makes the branch a PFT *waypoint*, i.e. the
+/// trace must carry its target address explicitly (indirect control flow or
+/// exceptions); conditional direct branches travel as 1-bit atoms.
+constexpr bool is_waypoint(BranchKind k) noexcept {
+  return k != BranchKind::kConditional;
+}
+
+struct BranchEvent {
+  std::uint64_t source = 0;  ///< address of the branch instruction
+  std::uint64_t target = 0;  ///< branch target address (meaningful if taken)
+  BranchKind kind = BranchKind::kConditional;
+  bool taken = true;
+  std::uint8_t context_id = 0;  ///< traced process (CONTEXTID packet source)
+
+  // --- simulation sidebands (not architectural state) ---
+  sim::Picoseconds retired_ps = 0;  ///< when the CPU retired this branch
+  std::uint64_t seq = 0;            ///< global event sequence number
+  bool injected = false;            ///< true for attack-injected events
+};
+
+}  // namespace rtad::cpu

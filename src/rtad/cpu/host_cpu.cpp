@@ -1,0 +1,72 @@
+#include "rtad/cpu/host_cpu.hpp"
+
+namespace rtad::cpu {
+
+HostCpu::HostCpu(HostCpuConfig config, StepSource& source, coresight::Ptm* ptm)
+    : sim::Component("host_cpu"), config_(config), source_(source), ptm_(ptm) {}
+
+void HostCpu::reset() {
+  gap_remaining_ = 0;
+  step_valid_ = false;
+  overhead_accumulator_ = 0.0;
+  overhead_stall_ = 0;
+  cycles_ = 0;
+  program_instructions_ = 0;
+  overhead_instructions_ = 0;
+  branches_retired_ = 0;
+  next_seq_ = 0;
+  irq_count_ = 0;
+  last_irq_ps_.reset();
+}
+
+void HostCpu::fetch_next_step() {
+  current_ = source_.next();
+  gap_remaining_ = current_.instr_gap;
+  step_valid_ = true;
+}
+
+void HostCpu::raise_irq(sim::Picoseconds now_ps) {
+  ++irq_count_;
+  last_irq_ps_ = now_ps;
+  if (irq_handler_) irq_handler_(now_ps);
+}
+
+void HostCpu::tick() {
+  ++cycles_;
+
+  // Instrumentation stall cycles preempt program progress: the inserted
+  // dump/trace code runs on the same pipeline.
+  if (overhead_stall_ > 0) {
+    --overhead_stall_;
+    ++overhead_instructions_;
+    return;
+  }
+
+  if (!step_valid_) fetch_next_step();
+
+  if (gap_remaining_ > 0) {
+    --gap_remaining_;
+    ++program_instructions_;
+    return;
+  }
+
+  // Retire the branch (a branch is itself one program instruction).
+  ++program_instructions_;
+  ++branches_retired_;
+  BranchEvent ev = current_.event;
+  ev.retired_ps = local_time_ps();
+  ev.seq = next_seq_++;
+  ev.context_id = config_.context_id;
+  if (ptm_ != nullptr && uses_ptm(config_.mode)) ptm_->submit(ev);
+
+  // Charge the collection mechanism for this event.
+  overhead_accumulator_ +=
+      instrumentation_cost(config_.mode, ev.kind, config_.costs);
+  const auto whole = static_cast<std::uint64_t>(overhead_accumulator_);
+  overhead_stall_ += whole;
+  overhead_accumulator_ -= static_cast<double>(whole);
+
+  step_valid_ = false;
+}
+
+}  // namespace rtad::cpu

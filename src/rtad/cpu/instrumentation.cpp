@@ -1,0 +1,36 @@
+#include "rtad/cpu/instrumentation.hpp"
+
+namespace rtad::cpu {
+
+const char* to_string(InstrumentationMode mode) noexcept {
+  switch (mode) {
+    case InstrumentationMode::kBaseline: return "Baseline";
+    case InstrumentationMode::kRtad: return "RTAD";
+    case InstrumentationMode::kSwSys: return "SW_SYS";
+    case InstrumentationMode::kSwFunc: return "SW_FUNC";
+    case InstrumentationMode::kSwAll: return "SW_ALL";
+  }
+  return "?";
+}
+
+double instrumentation_cost(InstrumentationMode mode, BranchKind kind,
+                            const InstrumentationCosts& costs) noexcept {
+  switch (mode) {
+    case InstrumentationMode::kBaseline:
+      return 0.0;
+    case InstrumentationMode::kRtad:
+      return costs.ptm_residual_per_branch;
+    case InstrumentationMode::kSwSys:
+      return kind == BranchKind::kSyscall ? costs.strace_per_syscall : 0.0;
+    case InstrumentationMode::kSwFunc:
+      return (kind == BranchKind::kCall || kind == BranchKind::kReturn ||
+              kind == BranchKind::kSyscall)
+                 ? costs.dump_per_call_return + costs.dump_flush_per_event
+                 : 0.0;
+    case InstrumentationMode::kSwAll:
+      return costs.dump_per_branch + costs.dump_flush_per_event;
+  }
+  return 0.0;
+}
+
+}  // namespace rtad::cpu

@@ -1,0 +1,39 @@
+// Two-pass text assembler for the SI-like ISA.
+//
+// Syntax (one instruction per line; ';' or '#' start comments):
+//   .kernel <name>        directives: kernel name,
+//   .vgprs <n>            VGPR allocation per wave,
+//   .lds <bytes>          LDS allocation per workgroup
+//   <label>:              branch targets
+//   s_mov_b32 s4, 0x10    operands: s<N>, v<N>, vcc, exec, m0, integer or
+//   v_mac_f32 v2, v4, v5  float literals, label names (SOPP branches)
+//
+// Operand order follows the conventions documented per format in
+// assembler.cpp (e.g. global_store_dword vdata, vaddr, sbase [, offset]).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "rtad/gpgpu/compute_unit.hpp"
+
+namespace rtad::gpgpu {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::uint32_t line, const std::string& what)
+      : std::runtime_error("asm line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::uint32_t line() const noexcept { return line_; }
+
+ private:
+  std::uint32_t line_;
+};
+
+/// Assemble source text into an executable Program.
+Program assemble(const std::string& source);
+
+/// Render a program back to text (round-trip debugging aid).
+std::string disassemble(const Program& program);
+
+}  // namespace rtad::gpgpu

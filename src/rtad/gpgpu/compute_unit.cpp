@@ -1,0 +1,150 @@
+#include "rtad/gpgpu/compute_unit.hpp"
+
+#include <stdexcept>
+
+namespace rtad::gpgpu {
+
+ComputeUnit::ComputeUnit(std::uint32_t id, DeviceMemory& mem,
+                         std::vector<std::uint64_t>* coverage,
+                         const std::vector<bool>* retained)
+    : cu_id_(id), mem_(mem), coverage_(coverage), retained_(retained) {}
+
+void ComputeUnit::start(const WorkgroupTask& task) {
+  if (active_) throw std::logic_error("CU busy");
+  if (task.program == nullptr || task.waves == 0) {
+    throw std::invalid_argument("bad workgroup task");
+  }
+  program_ = task.program;
+  waves_.clear();
+  waves_.reserve(task.waves);
+  for (std::uint32_t w = 0; w < task.waves; ++w) {
+    Wavefront wave(program_->num_vgprs);
+    wave.workgroup_id = task.workgroup_id;
+    wave.wave_in_group = w;
+    // Launch ABI: s0 = kernarg byte address, s1 = workgroup id,
+    // s2 = wave-in-group, s3 = waves per group; v0 = lane id,
+    // v1 = local thread id.
+    wave.set_sgpr(0, task.kernarg_addr);
+    wave.set_sgpr(1, task.workgroup_id);
+    wave.set_sgpr(2, w);
+    wave.set_sgpr(3, task.waves);
+    for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) {
+      wave.set_vgpr(0, lane, lane);
+      wave.set_vgpr(1, lane, w * kWavefrontSize + lane);
+    }
+    waves_.push_back(std::move(wave));
+  }
+  lds_.assign((program_->lds_bytes + 3) / 4, 0);
+  active_ = true;
+  rr_next_ = 0;
+}
+
+void ComputeUnit::record_coverage(const Instruction& inst) {
+  if (coverage_ == nullptr) return;
+  const auto& inv = RtlInventory::instance();
+  for (std::uint32_t uid : inv.structural_units()) (*coverage_)[uid]++;
+  (*coverage_)[inv.format_unit(format_of(inst.op))]++;
+  (*coverage_)[inv.pipe_unit(pipe_of(inst.op))]++;
+  (*coverage_)[inv.opcode_unit(inst.op)]++;
+}
+
+void ComputeUnit::check_trim(const Instruction& inst) const {
+  if (retained_ == nullptr) return;
+  const auto& inv = RtlInventory::instance();
+  const std::uint32_t fmt = inv.format_unit(format_of(inst.op));
+  const std::uint32_t pipe = inv.pipe_unit(pipe_of(inst.op));
+  const std::uint32_t op = inv.opcode_unit(inst.op);
+  for (std::uint32_t uid : {fmt, pipe, op}) {
+    if (!(*retained_)[uid]) {
+      throw TrimViolation("instruction '" + std::string(mnemonic(inst.op)) +
+                          "' requires trimmed unit '" + inv.unit(uid).name +
+                          "'");
+    }
+  }
+}
+
+void ComputeUnit::record_wave_banks(const Wavefront& wave) {
+  if (coverage_ == nullptr) return;
+  const auto& inv = RtlInventory::instance();
+  for (std::uint32_t b = 0; b <= wave.max_vgpr_touched() / kVgprBankSize; ++b) {
+    if (b < kNumRegBanks) (*coverage_)[inv.vgpr_bank_unit(b)]++;
+  }
+  for (std::uint32_t b = 0; b <= wave.max_sgpr_touched() / kSgprBankSize; ++b) {
+    if (b < kNumRegBanks) (*coverage_)[inv.sgpr_bank_unit(b)]++;
+  }
+  for (std::uint32_t b = 0; b <= wave.max_lds_touched() / kLdsBankBytes; ++b) {
+    if (b < kNumRegBanks) (*coverage_)[inv.lds_bank_unit(b)]++;
+  }
+}
+
+void ComputeUnit::release_barrier_if_ready() {
+  bool all_parked = true;
+  for (const auto& w : waves_) {
+    if (w.state() == WaveState::kReady || w.state() == WaveState::kBusy) {
+      all_parked = false;
+      break;
+    }
+  }
+  if (!all_parked) return;
+  bool any_at_barrier = false;
+  for (auto& w : waves_) {
+    if (w.state() == WaveState::kAtBarrier) {
+      w.set_state(WaveState::kReady);
+      any_at_barrier = true;
+    }
+  }
+  (void)any_at_barrier;
+}
+
+bool ComputeUnit::tick() {
+  ++cycle_;
+  if (!active_) return false;
+
+  // Wake waves whose multi-cycle instruction completed.
+  for (auto& w : waves_) {
+    if (w.state() == WaveState::kBusy && w.busy_until_cycle <= cycle_) {
+      w.set_state(WaveState::kReady);
+    }
+  }
+  release_barrier_if_ready();
+
+  // Round-robin issue: one instruction per cycle.
+  const std::uint32_t n = static_cast<std::uint32_t>(waves_.size());
+  for (std::uint32_t k = 0; k < n; ++k) {
+    Wavefront& w = waves_[(rr_next_ + k) % n];
+    if (w.state() != WaveState::kReady) continue;
+    const std::uint32_t pc = w.pc();
+    if (pc >= program_->code.size()) {
+      throw std::runtime_error("PC past end of kernel '" + program_->name +
+                               "' (missing s_endpgm?)");
+    }
+    const Instruction& inst = program_->code[pc];
+    check_trim(inst);
+    record_coverage(inst);
+    ExecContext ctx{&mem_, &lds_};
+    w.execute(inst, ctx);
+    ++issued_;
+    if (w.state() == WaveState::kReady) {
+      const std::uint32_t cost = cycle_cost(inst.op);
+      if (cost > 1) {
+        w.set_state(WaveState::kBusy);
+        w.busy_until_cycle = cycle_ + cost;
+      }
+    }
+    rr_next_ = (rr_next_ + k + 1) % n;
+    break;
+  }
+
+  release_barrier_if_ready();
+
+  // Completed?
+  for (const auto& w : waves_) {
+    if (w.state() != WaveState::kDone) return false;
+  }
+  for (const auto& w : waves_) record_wave_banks(w);
+  active_ = false;
+  program_ = nullptr;
+  return true;
+}
+
+}  // namespace rtad::gpgpu

@@ -1,0 +1,67 @@
+#include "rtad/gpgpu/device_memory.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace rtad::gpgpu {
+
+DeviceMemory::DeviceMemory(std::size_t size_bytes) : bytes_(size_bytes, 0) {
+  if (size_bytes == 0 || size_bytes % 4 != 0) {
+    throw std::invalid_argument("device memory size must be a multiple of 4");
+  }
+}
+
+void DeviceMemory::check(std::uint64_t addr) const {
+  if (addr % 4 != 0) {
+    throw std::invalid_argument("unaligned device memory access at 0x" +
+                                std::to_string(addr));
+  }
+  if (addr + 4 > bytes_.size()) {
+    throw std::out_of_range("device memory access at 0x" +
+                            std::to_string(addr) + " out of range");
+  }
+}
+
+std::uint32_t DeviceMemory::read32(std::uint64_t addr) const {
+  check(addr);
+  ++reads_;
+  std::uint32_t v;
+  std::memcpy(&v, bytes_.data() + addr, 4);
+  return v;
+}
+
+void DeviceMemory::write32(std::uint64_t addr, std::uint32_t value) {
+  check(addr);
+  ++writes_;
+  std::memcpy(bytes_.data() + addr, &value, 4);
+}
+
+float DeviceMemory::read_f32(std::uint64_t addr) const {
+  const std::uint32_t bits = read32(addr);
+  float f;
+  std::memcpy(&f, &bits, 4);
+  return f;
+}
+
+void DeviceMemory::write_f32(std::uint64_t addr, float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, 4);
+  write32(addr, bits);
+}
+
+void DeviceMemory::write_block(std::uint64_t addr, const std::uint32_t* words,
+                               std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) write32(addr + 4 * i, words[i]);
+}
+
+void DeviceMemory::read_block(std::uint64_t addr, std::uint32_t* words,
+                              std::size_t count) const {
+  for (std::size_t i = 0; i < count; ++i) words[i] = read32(addr + 4 * i);
+}
+
+void DeviceMemory::clear() noexcept {
+  std::fill(bytes_.begin(), bytes_.end(), 0);
+}
+
+}  // namespace rtad::gpgpu

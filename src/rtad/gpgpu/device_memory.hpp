@@ -1,0 +1,46 @@
+// ML-MIAOW internal memory.
+//
+// "When the data is delivered via the [AXI] interface, ML-MIAOW stores the
+// data in its internal memory. ML-MIAOW then uses the stored data for its
+// operation." (§III-B). Kernel arguments, model weights, input vectors and
+// inference results all live here; the MCM TX/RX engines access it as an
+// AXI slave while wavefronts access it through vector/scalar memory ops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtad/bus/slave.hpp"
+
+namespace rtad::gpgpu {
+
+class DeviceMemory final : public bus::Slave {
+ public:
+  explicit DeviceMemory(std::size_t size_bytes);
+
+  std::uint32_t read32(std::uint64_t addr) const override;
+  void write32(std::uint64_t addr, std::uint32_t value) override;
+
+  float read_f32(std::uint64_t addr) const;
+  void write_f32(std::uint64_t addr, float value);
+
+  /// Bulk helpers for loaders (host-side model images).
+  void write_block(std::uint64_t addr, const std::uint32_t* words,
+                   std::size_t count);
+  void read_block(std::uint64_t addr, std::uint32_t* words,
+                  std::size_t count) const;
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+  void clear() noexcept;
+
+  std::uint64_t reads() const noexcept { return reads_; }
+  std::uint64_t writes() const noexcept { return writes_; }
+
+ private:
+  void check(std::uint64_t addr) const;
+  std::vector<std::uint8_t> bytes_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace rtad::gpgpu

@@ -1,0 +1,121 @@
+#include "rtad/gpgpu/encoding.hpp"
+
+namespace rtad::gpgpu {
+
+namespace {
+
+std::uint32_t encode_operand(const Operand& op) {
+  return (static_cast<std::uint32_t>(op.kind) << 16) | op.index;
+}
+
+Operand decode_operand(std::uint32_t desc, std::uint32_t literal) {
+  const auto kind_bits = desc >> 16;
+  if (kind_bits > static_cast<std::uint32_t>(OperandKind::kM0)) {
+    throw EncodingError("bad operand kind");
+  }
+  Operand op;
+  op.kind = static_cast<OperandKind>(kind_bits);
+  op.index = static_cast<std::uint16_t>(desc & 0xFFFF);
+  op.literal = literal;
+  return op;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> encode_program(const Program& program) {
+  std::vector<std::uint32_t> image;
+  image.reserve(kImageHeaderWords +
+                program.code.size() * kWordsPerInstruction);
+  image.push_back(kImageMagic);
+  image.push_back(static_cast<std::uint32_t>(program.code.size()));
+  image.push_back(program.num_vgprs);
+  image.push_back(program.lds_bytes);
+
+  for (const auto& inst : program.code) {
+    if (inst.src2.kind == OperandKind::kLiteral && inst.imm != 0) {
+      throw EncodingError(
+          "instruction uses both a src2 literal and an immediate");
+    }
+    image.push_back((kInstrMagic << 16) |
+                    static_cast<std::uint32_t>(inst.op));
+    image.push_back(encode_operand(inst.dst));
+    image.push_back(encode_operand(inst.src0));
+    image.push_back(inst.src0.kind == OperandKind::kLiteral ? inst.src0.literal
+                                                            : 0);
+    image.push_back(encode_operand(inst.src1));
+    image.push_back(inst.src1.kind == OperandKind::kLiteral ? inst.src1.literal
+                                                            : 0);
+    image.push_back(encode_operand(inst.src2));
+    image.push_back(inst.src2.kind == OperandKind::kLiteral
+                        ? inst.src2.literal
+                        : static_cast<std::uint32_t>(inst.imm));
+  }
+  return image;
+}
+
+Program decode_program(const std::vector<std::uint32_t>& image,
+                       std::string name) {
+  if (image.size() < kImageHeaderWords || image[0] != kImageMagic) {
+    throw EncodingError("bad program image header");
+  }
+  const std::uint32_t count = image[1];
+  if (image.size() != kImageHeaderWords + count * kWordsPerInstruction) {
+    throw EncodingError("program image size mismatch");
+  }
+  Program program;
+  program.name = std::move(name);
+  program.num_vgprs = image[2];
+  program.lds_bytes = image[3];
+  program.code.reserve(count);
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t base = kImageHeaderWords + i * kWordsPerInstruction;
+    const std::uint32_t w0 = image[base];
+    if ((w0 >> 16) != kInstrMagic) {
+      throw EncodingError("bad instruction magic at index " +
+                          std::to_string(i));
+    }
+    const std::uint32_t opcode = w0 & 0xFFFF;
+    if (opcode >= kNumOpcodes) {
+      throw EncodingError("bad opcode at index " + std::to_string(i));
+    }
+    Instruction inst;
+    inst.op = static_cast<Opcode>(opcode);
+    inst.dst = decode_operand(image[base + 1], 0);
+    inst.src0 = decode_operand(image[base + 2], image[base + 3]);
+    inst.src1 = decode_operand(image[base + 4], image[base + 5]);
+    inst.src2 = decode_operand(image[base + 6],
+                               image[base + 6] >> 16 ==
+                                       static_cast<std::uint32_t>(
+                                           OperandKind::kLiteral)
+                                   ? image[base + 7]
+                                   : 0);
+    inst.imm = inst.src2.kind == OperandKind::kLiteral
+                   ? 0
+                   : static_cast<std::int32_t>(image[base + 7]);
+    program.code.push_back(inst);
+  }
+  return program;
+}
+
+std::size_t store_program(DeviceMemory& mem, std::uint64_t addr,
+                          const Program& program) {
+  const auto image = encode_program(program);
+  mem.write_block(addr, image.data(), image.size());
+  return image.size() * 4;
+}
+
+Program load_program(const DeviceMemory& mem, std::uint64_t addr,
+                     std::string name) {
+  std::uint32_t header[kImageHeaderWords];
+  mem.read_block(addr, header, kImageHeaderWords);
+  if (header[0] != kImageMagic) throw EncodingError("no program image here");
+  const std::size_t total =
+      kImageHeaderWords + static_cast<std::size_t>(header[1]) *
+                              kWordsPerInstruction;
+  std::vector<std::uint32_t> image(total);
+  mem.read_block(addr, image.data(), total);
+  return decode_program(image, std::move(name));
+}
+
+}  // namespace rtad::gpgpu

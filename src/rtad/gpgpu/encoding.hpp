@@ -1,0 +1,61 @@
+// Binary machine-code encoding for kernels.
+//
+// Real MIAOW fetches Southern Islands machine words from instruction
+// memory; this module defines the equivalent binary image format so model
+// images can carry kernels as data (loadable into ML-MIAOW memory, hashable
+// for provenance, diffable between builds) rather than as host-side ASTs.
+//
+// Format: fixed eight 32-bit words per instruction (a deliberate
+// simplification of SI's variable-width stream — fixed pitch keeps the
+// fetch model and PC arithmetic trivial):
+//   w0: [31:16] magic 0x51AD, [15:0] opcode
+//   w1: dst   operand descriptor   (kind << 16 | index)
+//   w2: src0  operand descriptor
+//   w3: src0  literal payload      (0 unless kind == literal)
+//   w4: src1  operand descriptor
+//   w5: src1  literal payload
+//   w6: src2  operand descriptor   (src2 literals share w7 with imm — the
+//       ISA has no instruction using both; the encoder rejects that case)
+//   w7: imm / src2 literal payload
+// A program image is: header [magic 0x52AD1A6E, instruction count,
+// num_vgprs, lds_bytes] followed by the instruction words.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "rtad/gpgpu/compute_unit.hpp"
+#include "rtad/gpgpu/device_memory.hpp"
+
+namespace rtad::gpgpu {
+
+class EncodingError : public std::runtime_error {
+ public:
+  explicit EncodingError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kImageMagic = 0x52AD1A6E;
+inline constexpr std::uint32_t kInstrMagic = 0x51AD;
+inline constexpr std::size_t kWordsPerInstruction = 8;
+inline constexpr std::size_t kImageHeaderWords = 4;
+
+/// Encode a program into its binary image (header + instruction words).
+std::vector<std::uint32_t> encode_program(const Program& program);
+
+/// Decode a binary image back into an executable Program. Throws
+/// EncodingError on any malformed word. The program name is not carried by
+/// the image; pass it in (defaults to "binary").
+Program decode_program(const std::vector<std::uint32_t>& image,
+                       std::string name = "binary");
+
+/// Store an encoded program image into device memory at `addr`; returns the
+/// number of bytes written.
+std::size_t store_program(DeviceMemory& mem, std::uint64_t addr,
+                          const Program& program);
+
+/// Load a program image from device memory at `addr`.
+Program load_program(const DeviceMemory& mem, std::uint64_t addr,
+                     std::string name = "binary");
+
+}  // namespace rtad::gpgpu

@@ -1,0 +1,119 @@
+#include "rtad/gpgpu/gpu.hpp"
+
+#include <stdexcept>
+
+namespace rtad::gpgpu {
+
+Gpu::Gpu(GpuConfig config)
+    : sim::Component("gpu"),
+      config_(config),
+      mem_(std::make_unique<DeviceMemory>(config.memory_bytes)),
+      coverage_(RtlInventory::instance().num_units(), 0) {
+  if (config.num_cus == 0) throw std::invalid_argument("need >= 1 CU");
+  for (std::uint32_t i = 0; i < config.num_cus; ++i) {
+    cus_.push_back(std::make_unique<ComputeUnit>(
+        i, *mem_, config.collect_coverage ? &coverage_ : nullptr, nullptr));
+  }
+}
+
+void Gpu::reset() {
+  // Device memory contents survive reset (it is SRAM with a loaded model);
+  // only execution state clears.
+  program_ = nullptr;
+  launch_active_ = false;
+  next_workgroup_ = 0;
+  workgroups_ = 0;
+  groups_in_flight_ = 0;
+  dispatch_cooldown_ = 0;
+  cycle_ = 0;
+}
+
+void Gpu::set_trim(std::optional<std::vector<bool>> retained) {
+  if (retained && retained->size() != RtlInventory::instance().num_units()) {
+    throw std::invalid_argument("trim mask size mismatch");
+  }
+  retained_ = std::move(retained);
+  for (auto& cu : cus_) {
+    cu->set_retained(retained_ ? &*retained_ : nullptr);
+  }
+}
+
+void Gpu::set_coverage_enabled(bool on) {
+  config_.collect_coverage = on;
+  for (auto& cu : cus_) cu->set_coverage(on ? &coverage_ : nullptr);
+}
+
+void Gpu::reset_coverage() {
+  std::fill(coverage_.begin(), coverage_.end(), 0);
+}
+
+void Gpu::launch(const LaunchConfig& launch) {
+  if (launch_active_) throw std::logic_error("GPU already running a launch");
+  if (launch.program == nullptr || launch.workgroups == 0 ||
+      launch.waves_per_group == 0 || launch.waves_per_group > 8) {
+    throw std::invalid_argument("bad launch configuration");
+  }
+  program_ = launch.program;
+  workgroups_ = launch.workgroups;
+  waves_per_group_ = launch.waves_per_group;
+  kernarg_addr_ = launch.kernarg_addr;
+  next_workgroup_ = 0;
+  groups_in_flight_ = 0;
+  dispatch_cooldown_ = config_.dispatch_latency;
+  launch_active_ = true;
+  launch_start_cycle_ = cycle_;
+}
+
+bool Gpu::idle() const noexcept { return !launch_active_; }
+
+std::uint64_t Gpu::instructions_issued() const {
+  std::uint64_t total = 0;
+  for (const auto& cu : cus_) total += cu->instructions_issued();
+  return total;
+}
+
+void Gpu::tick() {
+  ++cycle_;
+
+  if (launch_active_) {
+    // Serial dispatcher: one workgroup assignment per dispatch_latency.
+    if (dispatch_cooldown_ > 0) {
+      --dispatch_cooldown_;
+    }
+    if (dispatch_cooldown_ == 0 && next_workgroup_ < workgroups_) {
+      for (auto& cu : cus_) {
+        if (cu->idle()) {
+          cu->start(WorkgroupTask{program_, next_workgroup_, waves_per_group_,
+                                  kernarg_addr_});
+          ++next_workgroup_;
+          ++groups_in_flight_;
+          dispatch_cooldown_ = config_.dispatch_latency;
+          break;
+        }
+      }
+    }
+  }
+
+  for (auto& cu : cus_) {
+    if (cu->tick()) --groups_in_flight_;
+  }
+
+  if (launch_active_ && next_workgroup_ >= workgroups_ &&
+      groups_in_flight_ == 0) {
+    launch_active_ = false;
+    last_launch_cycles_ = cycle_ - launch_start_cycle_;
+  }
+}
+
+std::uint64_t Gpu::run_to_completion(std::uint64_t max_cycles) {
+  const std::uint64_t start = cycle_;
+  while (launch_active_) {
+    if (cycle_ - start >= max_cycles) {
+      throw std::runtime_error("kernel did not complete within cycle limit");
+    }
+    tick();
+  }
+  return cycle_ - start;
+}
+
+}  // namespace rtad::gpgpu

@@ -1,0 +1,103 @@
+// Top-level GPGPU: compute units + workgroup dispatcher + device memory.
+//
+// Two configurations reproduce the paper's engines:
+//   * MIAOW    — 1 CU, untrimmed inventory (all that fits the FPGA),
+//   * ML-MIAOW — 5 CUs, inventory trimmed to the ML kernels' coverage.
+// Both run the same kernels through the same launch ABI, which is the
+// paper's "same runtime environments as MIAOW" property.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtad/gpgpu/compute_unit.hpp"
+#include "rtad/gpgpu/device_memory.hpp"
+#include "rtad/sim/component.hpp"
+
+namespace rtad::gpgpu {
+
+struct LaunchConfig {
+  const Program* program = nullptr;
+  std::uint32_t workgroups = 1;
+  std::uint32_t waves_per_group = 1;
+  std::uint32_t kernarg_addr = 0;
+};
+
+struct GpuConfig {
+  std::uint32_t num_cus = 1;
+  std::size_t memory_bytes = 1u << 20;  ///< 1 MiB internal memory
+  std::uint32_t dispatch_latency = 8;   ///< cycles to hand a workgroup to a CU
+  bool collect_coverage = false;
+};
+
+class Gpu final : public sim::Component {
+ public:
+  explicit Gpu(GpuConfig config);
+
+  DeviceMemory& memory() noexcept { return *mem_; }
+  const DeviceMemory& memory() const noexcept { return *mem_; }
+
+  /// Begin an asynchronous kernel launch. The GPU must be idle.
+  void launch(const LaunchConfig& launch);
+
+  bool idle() const noexcept;
+
+  /// One 50 MHz GPU cycle (ticks the dispatcher and every CU).
+  void tick() override;
+  void reset() override;
+
+  /// Convenience for host-side use (tests, offline verification): run until
+  /// idle or `max_cycles`, returning cycles consumed. Throws if the limit
+  /// is hit.
+  std::uint64_t run_to_completion(std::uint64_t max_cycles = 50'000'000);
+
+  /// Cycles spent on the most recent completed launch.
+  std::uint64_t last_launch_cycles() const noexcept {
+    return last_launch_cycles_;
+  }
+  std::uint64_t total_cycles() const noexcept { return cycle_; }
+  std::uint64_t instructions_issued() const;
+
+  // --- trimming / coverage control ---
+  /// Configure as trimmed: only `retained` units exist. Pass std::nullopt
+  /// to restore the untrimmed configuration.
+  void set_trim(std::optional<std::vector<bool>> retained);
+  bool trimmed() const noexcept { return retained_.has_value(); }
+  const std::optional<std::vector<bool>>& retained() const noexcept {
+    return retained_;
+  }
+
+  void set_coverage_enabled(bool on);
+  const std::vector<std::uint64_t>& coverage() const noexcept {
+    return coverage_;
+  }
+  void reset_coverage();
+
+  const GpuConfig& config() const noexcept { return config_; }
+
+ private:
+  GpuConfig config_;
+  std::unique_ptr<DeviceMemory> mem_;
+  std::vector<std::unique_ptr<ComputeUnit>> cus_;
+  std::vector<std::uint64_t> coverage_;
+  std::optional<std::vector<bool>> retained_;
+
+  // Dispatcher state.
+  const Program* program_ = nullptr;
+  std::uint32_t next_workgroup_ = 0;
+  std::uint32_t workgroups_ = 0;
+  std::uint32_t waves_per_group_ = 1;
+  std::uint32_t kernarg_addr_ = 0;
+  std::uint32_t dispatch_cooldown_ = 0;
+  std::uint32_t groups_in_flight_ = 0;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t launch_start_cycle_ = 0;
+  std::uint64_t last_launch_cycles_ = 0;
+  bool launch_active_ = false;
+};
+
+}  // namespace rtad::gpgpu

@@ -1,0 +1,166 @@
+#include "rtad/gpgpu/isa.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace rtad::gpgpu {
+
+Operand Operand::litf(float f) noexcept {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, 4);
+  return lit(bits);
+}
+
+namespace {
+
+struct OpInfo {
+  std::string_view name;
+  Format format;
+  Pipe pipe;
+  std::uint32_t cost;
+};
+
+// One row per opcode, in enum order. Costs: scalar ops 1 cycle; full-rate
+// vector ops 4 (64 lanes over a 16-wide SIMD); transcendentals 16
+// (quarter-rate); f64 8 per quarter-wave => 32; SMRD 4; global memory 20;
+// LDS 6; atomics 24; image 32; interp 4; export 8.
+constexpr auto make_table() {
+  std::array<OpInfo, kNumOpcodes> t{};
+  auto set = [&t](Opcode op, std::string_view n, Format f, Pipe p,
+                  std::uint32_t c) {
+    t[static_cast<std::size_t>(op)] = OpInfo{n, f, p, c};
+  };
+  using O = Opcode;
+  using F = Format;
+  using P = Pipe;
+  set(O::S_MOV_B32, "s_mov_b32", F::kSop1, P::kSalu, 1);
+  set(O::S_MOVK_I32, "s_movk_i32", F::kSopk, P::kSalu, 1);
+  set(O::S_NOT_B32, "s_not_b32", F::kSop1, P::kSalu, 1);
+  set(O::S_ADD_I32, "s_add_i32", F::kSop2, P::kSalu, 1);
+  set(O::S_ADD_U32, "s_add_u32", F::kSop2, P::kSalu, 1);
+  set(O::S_SUB_I32, "s_sub_i32", F::kSop2, P::kSalu, 1);
+  set(O::S_MUL_I32, "s_mul_i32", F::kSop2, P::kSalu, 1);
+  set(O::S_AND_B32, "s_and_b32", F::kSop2, P::kSalu, 1);
+  set(O::S_OR_B32, "s_or_b32", F::kSop2, P::kSalu, 1);
+  set(O::S_XOR_B32, "s_xor_b32", F::kSop2, P::kSalu, 1);
+  set(O::S_LSHL_B32, "s_lshl_b32", F::kSop2, P::kSalu, 1);
+  set(O::S_LSHR_B32, "s_lshr_b32", F::kSop2, P::kSalu, 1);
+  set(O::S_ASHR_I32, "s_ashr_i32", F::kSop2, P::kSalu, 1);
+  set(O::S_MIN_I32, "s_min_i32", F::kSop2, P::kSalu, 1);
+  set(O::S_MAX_I32, "s_max_i32", F::kSop2, P::kSalu, 1);
+  set(O::S_CMP_EQ_I32, "s_cmp_eq_i32", F::kSopc, P::kSalu, 1);
+  set(O::S_CMP_LG_I32, "s_cmp_lg_i32", F::kSopc, P::kSalu, 1);
+  set(O::S_CMP_GT_I32, "s_cmp_gt_i32", F::kSopc, P::kSalu, 1);
+  set(O::S_CMP_GE_I32, "s_cmp_ge_i32", F::kSopc, P::kSalu, 1);
+  set(O::S_CMP_LT_I32, "s_cmp_lt_i32", F::kSopc, P::kSalu, 1);
+  set(O::S_CMP_LE_I32, "s_cmp_le_i32", F::kSopc, P::kSalu, 1);
+  set(O::S_MOV_B64, "s_mov_b64", F::kSop1, P::kSalu, 1);
+  set(O::S_AND_B64, "s_and_b64", F::kSop2, P::kSalu, 1);
+  set(O::S_OR_B64, "s_or_b64", F::kSop2, P::kSalu, 1);
+  set(O::S_ANDN2_B64, "s_andn2_b64", F::kSop2, P::kSalu, 1);
+  set(O::S_NOT_B64, "s_not_b64", F::kSop1, P::kSalu, 1);
+  set(O::S_BRANCH, "s_branch", F::kSopp, P::kBranch, 1);
+  set(O::S_CBRANCH_SCC0, "s_cbranch_scc0", F::kSopp, P::kBranch, 1);
+  set(O::S_CBRANCH_SCC1, "s_cbranch_scc1", F::kSopp, P::kBranch, 1);
+  set(O::S_CBRANCH_VCCZ, "s_cbranch_vccz", F::kSopp, P::kBranch, 1);
+  set(O::S_CBRANCH_VCCNZ, "s_cbranch_vccnz", F::kSopp, P::kBranch, 1);
+  set(O::S_CBRANCH_EXECZ, "s_cbranch_execz", F::kSopp, P::kBranch, 1);
+  set(O::S_BARRIER, "s_barrier", F::kSopp, P::kBranch, 1);
+  set(O::S_WAITCNT, "s_waitcnt", F::kSopp, P::kBranch, 1);
+  set(O::S_NOP, "s_nop", F::kSopp, P::kBranch, 1);
+  set(O::S_SLEEP, "s_sleep", F::kSopp, P::kBranch, 1);
+  set(O::S_SENDMSG, "s_sendmsg", F::kSopp, P::kBranch, 1);
+  set(O::S_ENDPGM, "s_endpgm", F::kSopp, P::kBranch, 1);
+  set(O::S_LOAD_DWORD, "s_load_dword", F::kSmrd, P::kSmem, 4);
+  set(O::S_LOAD_DWORDX2, "s_load_dwordx2", F::kSmrd, P::kSmem, 5);
+  set(O::S_LOAD_DWORDX4, "s_load_dwordx4", F::kSmrd, P::kSmem, 7);
+  set(O::V_MOV_B32, "v_mov_b32", F::kVop1, P::kValuF32, 4);
+  set(O::V_NOT_B32, "v_not_b32", F::kVop1, P::kValuF32, 4);
+  set(O::V_CVT_F32_I32, "v_cvt_f32_i32", F::kVop1, P::kValuF32, 4);
+  set(O::V_CVT_I32_F32, "v_cvt_i32_f32", F::kVop1, P::kValuF32, 4);
+  set(O::V_CVT_F32_U32, "v_cvt_f32_u32", F::kVop1, P::kValuF32, 4);
+  set(O::V_CVT_U32_F32, "v_cvt_u32_f32", F::kVop1, P::kValuF32, 4);
+  set(O::V_FLOOR_F32, "v_floor_f32", F::kVop1, P::kValuF32, 4);
+  set(O::V_FRACT_F32, "v_fract_f32", F::kVop1, P::kValuF32, 4);
+  set(O::V_ADD_F32, "v_add_f32", F::kVop2, P::kValuF32, 4);
+  set(O::V_SUB_F32, "v_sub_f32", F::kVop2, P::kValuF32, 4);
+  set(O::V_MUL_F32, "v_mul_f32", F::kVop2, P::kValuF32, 4);
+  set(O::V_MAC_F32, "v_mac_f32", F::kVop2, P::kValuF32, 4);
+  set(O::V_MIN_F32, "v_min_f32", F::kVop2, P::kValuF32, 4);
+  set(O::V_MAX_F32, "v_max_f32", F::kVop2, P::kValuF32, 4);
+  set(O::V_MAD_F32, "v_mad_f32", F::kVop3, P::kValuF32, 4);
+  set(O::V_FMA_F32, "v_fma_f32", F::kVop3, P::kValuF32, 4);
+  set(O::V_ADD_I32, "v_add_i32", F::kVop2, P::kValuF32, 4);
+  set(O::V_SUB_I32, "v_sub_i32", F::kVop2, P::kValuF32, 4);
+  set(O::V_MUL_LO_I32, "v_mul_lo_i32", F::kVop3, P::kValuF32, 4);
+  set(O::V_MUL_HI_U32, "v_mul_hi_u32", F::kVop3, P::kValuF32, 4);
+  set(O::V_LSHLREV_B32, "v_lshlrev_b32", F::kVop2, P::kValuF32, 4);
+  set(O::V_LSHRREV_B32, "v_lshrrev_b32", F::kVop2, P::kValuF32, 4);
+  set(O::V_ASHRREV_I32, "v_ashrrev_i32", F::kVop2, P::kValuF32, 4);
+  set(O::V_AND_B32, "v_and_b32", F::kVop2, P::kValuF32, 4);
+  set(O::V_OR_B32, "v_or_b32", F::kVop2, P::kValuF32, 4);
+  set(O::V_XOR_B32, "v_xor_b32", F::kVop2, P::kValuF32, 4);
+  set(O::V_MIN_I32, "v_min_i32", F::kVop2, P::kValuF32, 4);
+  set(O::V_MAX_I32, "v_max_i32", F::kVop2, P::kValuF32, 4);
+  set(O::V_CNDMASK_B32, "v_cndmask_b32", F::kVop2, P::kValuF32, 4);
+  set(O::V_RCP_F32, "v_rcp_f32", F::kVop1, P::kValuTrans, 16);
+  set(O::V_RSQ_F32, "v_rsq_f32", F::kVop1, P::kValuTrans, 16);
+  set(O::V_SQRT_F32, "v_sqrt_f32", F::kVop1, P::kValuTrans, 16);
+  set(O::V_EXP_F32, "v_exp_f32", F::kVop1, P::kValuTrans, 16);
+  set(O::V_LOG_F32, "v_log_f32", F::kVop1, P::kValuTrans, 16);
+  set(O::V_SIN_F32, "v_sin_f32", F::kVop1, P::kValuTrans, 16);
+  set(O::V_COS_F32, "v_cos_f32", F::kVop1, P::kValuTrans, 16);
+  set(O::V_CMP_EQ_F32, "v_cmp_eq_f32", F::kVopc, P::kValuF32, 4);
+  set(O::V_CMP_NEQ_F32, "v_cmp_neq_f32", F::kVopc, P::kValuF32, 4);
+  set(O::V_CMP_LT_F32, "v_cmp_lt_f32", F::kVopc, P::kValuF32, 4);
+  set(O::V_CMP_LE_F32, "v_cmp_le_f32", F::kVopc, P::kValuF32, 4);
+  set(O::V_CMP_GT_F32, "v_cmp_gt_f32", F::kVopc, P::kValuF32, 4);
+  set(O::V_CMP_GE_F32, "v_cmp_ge_f32", F::kVopc, P::kValuF32, 4);
+  set(O::V_CMP_EQ_I32, "v_cmp_eq_i32", F::kVopc, P::kValuF32, 4);
+  set(O::V_CMP_NE_I32, "v_cmp_ne_i32", F::kVopc, P::kValuF32, 4);
+  set(O::V_CMP_LT_I32, "v_cmp_lt_i32", F::kVopc, P::kValuF32, 4);
+  set(O::V_CMP_GT_I32, "v_cmp_gt_i32", F::kVopc, P::kValuF32, 4);
+  set(O::V_ADD_F64, "v_add_f64", F::kVop3, P::kValuF64, 32);
+  set(O::V_MUL_F64, "v_mul_f64", F::kVop3, P::kValuF64, 32);
+  set(O::V_FMA_F64, "v_fma_f64", F::kVop3, P::kValuF64, 32);
+  set(O::V_RCP_F64, "v_rcp_f64", F::kVop1, P::kValuF64, 64);
+  set(O::V_CVT_F64_F32, "v_cvt_f64_f32", F::kVop1, P::kValuF64, 8);
+  set(O::V_CVT_F32_F64, "v_cvt_f32_f64", F::kVop1, P::kValuF64, 8);
+  set(O::GLOBAL_LOAD_DWORD, "global_load_dword", F::kFlat, P::kLsu, 20);
+  set(O::GLOBAL_STORE_DWORD, "global_store_dword", F::kFlat, P::kLsu, 12);
+  set(O::DS_READ_B32, "ds_read_b32", F::kDs, P::kLds, 6);
+  set(O::DS_WRITE_B32, "ds_write_b32", F::kDs, P::kLds, 6);
+  set(O::DS_ADD_U32, "ds_add_u32", F::kDs, P::kLds, 8);
+  set(O::BUFFER_ATOMIC_ADD, "buffer_atomic_add", F::kMubuf, P::kAtomic, 24);
+  set(O::IMAGE_LOAD, "image_load", F::kMimg, P::kImage, 32);
+  set(O::IMAGE_SAMPLE, "image_sample", F::kMimg, P::kImage, 32);
+  set(O::V_INTERP_P1_F32, "v_interp_p1_f32", F::kVintrp, P::kInterp, 4);
+  set(O::V_INTERP_P2_F32, "v_interp_p2_f32", F::kVintrp, P::kInterp, 4);
+  set(O::EXP, "exp", F::kExp, P::kExport, 8);
+  return t;
+}
+
+const std::array<OpInfo, kNumOpcodes>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+Format format_of(Opcode op) noexcept {
+  return table()[static_cast<std::size_t>(op)].format;
+}
+
+std::string_view mnemonic(Opcode op) noexcept {
+  return table()[static_cast<std::size_t>(op)].name;
+}
+
+Pipe pipe_of(Opcode op) noexcept {
+  return table()[static_cast<std::size_t>(op)].pipe;
+}
+
+std::uint32_t cycle_cost(Opcode op) noexcept {
+  return table()[static_cast<std::size_t>(op)].cost;
+}
+
+}  // namespace rtad::gpgpu

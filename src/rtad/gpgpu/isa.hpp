@@ -1,0 +1,167 @@
+// Southern-Islands-like ISA for the MIAOW stand-in.
+//
+// MIAOW implements a subset of AMD's Southern Islands ISA; our stand-in
+// does the same, with the instruction formats (SOP1/SOP2/SOPC/SOPK/SOPP,
+// VOP1/VOP2/VOP3/VOPC, SMRD, FLAT-style global, DS, MUBUF-atomic, MIMG,
+// EXP, VINTRP) preserved because the *decoder sub-blocks* per format are
+// exactly what coverage-driven trimming removes. Opcodes are grouped by the
+// execution pipe that implements them (see rtl_inventory.hpp): the
+// single-precision VALU, the scalar ALU, the f64 pipe, the transcendental
+// unit, the LSU, the LDS, and the graphics-legacy pipes (image sampler,
+// interpolator, export) that a GPGPU inherits but ML kernels never touch.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rtad::gpgpu {
+
+enum class Opcode : std::uint16_t {
+  // ---- scalar ALU: SOP1 / SOP2 / SOPK ----
+  S_MOV_B32, S_MOVK_I32, S_NOT_B32,
+  S_ADD_I32, S_ADD_U32, S_SUB_I32, S_MUL_I32,
+  S_AND_B32, S_OR_B32, S_XOR_B32,
+  S_LSHL_B32, S_LSHR_B32, S_ASHR_I32,
+  S_MIN_I32, S_MAX_I32,
+  // ---- scalar compare: SOPC (writes SCC) ----
+  S_CMP_EQ_I32, S_CMP_LG_I32, S_CMP_GT_I32, S_CMP_GE_I32,
+  S_CMP_LT_I32, S_CMP_LE_I32,
+  // ---- scalar 64-bit (EXEC/VCC manipulation) ----
+  S_MOV_B64, S_AND_B64, S_OR_B64, S_ANDN2_B64, S_NOT_B64,
+  // ---- program control: SOPP ----
+  S_BRANCH, S_CBRANCH_SCC0, S_CBRANCH_SCC1,
+  S_CBRANCH_VCCZ, S_CBRANCH_VCCNZ, S_CBRANCH_EXECZ,
+  S_BARRIER, S_WAITCNT, S_NOP, S_SLEEP, S_SENDMSG, S_ENDPGM,
+  // ---- scalar memory: SMRD ----
+  S_LOAD_DWORD, S_LOAD_DWORDX2, S_LOAD_DWORDX4,
+  // ---- vector moves / conversions: VOP1 ----
+  V_MOV_B32, V_NOT_B32,
+  V_CVT_F32_I32, V_CVT_I32_F32, V_CVT_F32_U32, V_CVT_U32_F32,
+  V_FLOOR_F32, V_FRACT_F32,
+  // ---- vector f32 arithmetic: VOP2/VOP3 ----
+  V_ADD_F32, V_SUB_F32, V_MUL_F32, V_MAC_F32,
+  V_MIN_F32, V_MAX_F32,
+  V_MAD_F32, V_FMA_F32,
+  // ---- vector i32 arithmetic ----
+  V_ADD_I32, V_SUB_I32, V_MUL_LO_I32, V_MUL_HI_U32,
+  V_LSHLREV_B32, V_LSHRREV_B32, V_ASHRREV_I32,
+  V_AND_B32, V_OR_B32, V_XOR_B32,
+  V_MIN_I32, V_MAX_I32,
+  V_CNDMASK_B32,  ///< per-lane select on VCC
+  // ---- transcendental unit (quarter-rate pipe) ----
+  V_RCP_F32, V_RSQ_F32, V_SQRT_F32, V_EXP_F32, V_LOG_F32,
+  V_SIN_F32, V_COS_F32,
+  // ---- vector compares: VOPC (write VCC) ----
+  V_CMP_EQ_F32, V_CMP_NEQ_F32, V_CMP_LT_F32, V_CMP_LE_F32,
+  V_CMP_GT_F32, V_CMP_GE_F32,
+  V_CMP_EQ_I32, V_CMP_NE_I32, V_CMP_LT_I32, V_CMP_GT_I32,
+  // ---- double-precision pipe (present in MIAOW, unused by ML kernels) ----
+  V_ADD_F64, V_MUL_F64, V_FMA_F64, V_RCP_F64,
+  V_CVT_F64_F32, V_CVT_F32_F64,
+  // ---- vector memory (FLAT-style global) ----
+  GLOBAL_LOAD_DWORD, GLOBAL_STORE_DWORD,
+  // ---- local data share ----
+  DS_READ_B32, DS_WRITE_B32, DS_ADD_U32,
+  // ---- graphics-legacy / atomic pipes (trim candidates) ----
+  BUFFER_ATOMIC_ADD,    ///< global atomic add (returns pre-op value)
+  IMAGE_LOAD,           ///< simplified: indexed texel fetch
+  IMAGE_SAMPLE,         ///< simplified: nearest-neighbor sample
+  V_INTERP_P1_F32,      ///< simplified attribute interpolation, phase 1
+  V_INTERP_P2_F32,      ///< phase 2
+  EXP,                  ///< export to render target (writes device memory)
+
+  kOpcodeCount
+};
+
+inline constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::kOpcodeCount);
+
+/// Instruction encoding format — one decoder sub-block per format.
+enum class Format : std::uint8_t {
+  kSop1, kSop2, kSopk, kSopc, kSopp,
+  kSmrd,
+  kVop1, kVop2, kVop3, kVopc,
+  kFlat, kDs, kMubuf, kMimg, kVintrp, kExp,
+  kFormatCount
+};
+
+inline constexpr std::size_t kNumFormats =
+    static_cast<std::size_t>(Format::kFormatCount);
+
+Format format_of(Opcode op) noexcept;
+std::string_view mnemonic(Opcode op) noexcept;
+
+/// Execution pipe that implements an opcode (the trimming granularity for
+/// execution resources).
+enum class Pipe : std::uint8_t {
+  kSalu,      ///< scalar ALU (32- and 64-bit)
+  kSmem,      ///< scalar memory
+  kBranch,    ///< SOPP control
+  kValuF32,   ///< full-rate f32/i32 vector ALU
+  kValuTrans, ///< quarter-rate transcendental
+  kValuF64,   ///< double-precision pipe
+  kLsu,       ///< vector global memory
+  kLds,       ///< local data share
+  kAtomic,    ///< global atomics
+  kImage,     ///< sampler / texture
+  kInterp,    ///< attribute interpolator
+  kExport,    ///< export block
+  kPipeCount
+};
+
+inline constexpr std::size_t kNumPipes =
+    static_cast<std::size_t>(Pipe::kPipeCount);
+
+Pipe pipe_of(Opcode op) noexcept;
+
+/// Issue-to-complete latency (CU cycles) of one wavefront instruction.
+/// 64 lanes retire over 4 cycles on the 16-wide SIMD; the transcendental
+/// unit is quarter-rate; memory costs model MIAOW's internal SRAM.
+std::uint32_t cycle_cost(Opcode op) noexcept;
+
+/// Operand addressing.
+enum class OperandKind : std::uint8_t {
+  kNone,
+  kSgpr,     ///< scalar register (index; 64-bit ops use index, index+1)
+  kVgpr,     ///< vector register
+  kLiteral,  ///< 32-bit inline constant
+  kVcc,      ///< vector condition code (64-bit)
+  kExec,     ///< execution mask (64-bit)
+  kScc,      ///< scalar condition code (1-bit)
+  kM0,       ///< memory descriptor register
+};
+
+struct Operand {
+  OperandKind kind = OperandKind::kNone;
+  std::uint16_t index = 0;
+  std::uint32_t literal = 0;
+
+  static Operand none() noexcept { return {}; }
+  static Operand sgpr(std::uint16_t i) noexcept {
+    return {OperandKind::kSgpr, i, 0};
+  }
+  static Operand vgpr(std::uint16_t i) noexcept {
+    return {OperandKind::kVgpr, i, 0};
+  }
+  static Operand lit(std::uint32_t bits) noexcept {
+    return {OperandKind::kLiteral, 0, bits};
+  }
+  static Operand litf(float f) noexcept;
+  static Operand vcc() noexcept { return {OperandKind::kVcc, 0, 0}; }
+  static Operand exec() noexcept { return {OperandKind::kExec, 0, 0}; }
+  static Operand m0() noexcept { return {OperandKind::kM0, 0, 0}; }
+
+  bool operator==(const Operand&) const = default;
+};
+
+struct Instruction {
+  Opcode op = Opcode::S_NOP;
+  Operand dst;
+  Operand src0;
+  Operand src1;
+  Operand src2;
+  std::int32_t imm = 0;   ///< SOPP branch target (instr index), offsets, ...
+  std::uint32_t line = 0; ///< assembler source line (diagnostics)
+};
+
+}  // namespace rtad::gpgpu

@@ -1,0 +1,298 @@
+#include "rtad/gpgpu/rtl_inventory.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace rtad::gpgpu {
+
+namespace {
+
+// The ISA surface the shipped ML kernels exercise (kept in sync with
+// rtad/ml/kernels.cpp; tests enforce equality of coverage and this list).
+constexpr std::array kMlOpcodes = {
+    Opcode::S_MOV_B32,    Opcode::S_ADD_I32,      Opcode::S_SUB_I32,
+    Opcode::S_MUL_I32,    Opcode::S_LSHL_B32,     Opcode::S_CMP_EQ_I32,
+    Opcode::S_CMP_GE_I32, Opcode::S_CMP_LT_I32,   Opcode::S_CBRANCH_SCC0,
+    Opcode::S_CBRANCH_SCC1, Opcode::S_BRANCH,     Opcode::S_BARRIER,
+    Opcode::S_WAITCNT,    Opcode::S_ENDPGM,       Opcode::S_MOV_B64,
+    Opcode::S_AND_B64,    Opcode::S_LOAD_DWORD,   Opcode::V_MOV_B32,
+    Opcode::V_ADD_F32,    Opcode::V_SUB_F32,      Opcode::V_MUL_F32,
+    Opcode::V_MAC_F32,    Opcode::V_MAX_F32,      Opcode::V_ADD_I32,
+    Opcode::V_MUL_LO_I32, Opcode::V_LSHLREV_B32,  Opcode::V_LSHRREV_B32,
+    Opcode::V_AND_B32,    Opcode::V_CNDMASK_B32,
+    Opcode::V_CMP_LT_I32, Opcode::V_CMP_GT_F32,   Opcode::V_EXP_F32,
+    Opcode::V_RCP_F32,    Opcode::V_LOG_F32,      Opcode::V_CVT_F32_U32,
+    Opcode::GLOBAL_LOAD_DWORD, Opcode::GLOBAL_STORE_DWORD,
+    Opcode::DS_READ_B32,  Opcode::DS_WRITE_B32,
+};
+
+// VOP3 is included because v_mul_lo_i32 (address arithmetic in every
+// matvec kernel) is a VOP3-encoded instruction on Southern Islands.
+constexpr std::array kMlFormats = {
+    Format::kSop1, Format::kSop2, Format::kSopc, Format::kSopp,
+    Format::kSmrd, Format::kVop1, Format::kVop2, Format::kVop3,
+    Format::kVopc, Format::kFlat, Format::kDs,
+};
+
+// Exact per-CU category budgets derived from Table II (see header).
+struct Budget {
+  std::uint64_t luts;
+  std::uint64_t ffs;
+};
+constexpr Budget kBudgetA{36'743, 15'275};   // used by ML kernels
+constexpr Budget kBudgetB{60'479, 55'224};   // unused, outside ALU/decoder
+constexpr Budget kBudgetC{83'680, 36'502};   // unused, inside ALU/decoder
+// A+B = MIAOW2.0 (97,222 / 70,499); A+B+C = full MIAOW (180,902 / 107,001).
+
+bool pipe_is_alu(Pipe p) {
+  return p == Pipe::kSalu || p == Pipe::kValuF32 || p == Pipe::kValuTrans ||
+         p == Pipe::kValuF64;
+}
+
+int category_of(const RtlUnit& u) {
+  if (u.used_by_ml) return 0;
+  return u.alu_or_decoder ? 2 : 1;
+}
+
+/// Scale `get`-values of all units in `category` so they sum exactly to
+/// `budget` (largest-remainder apportionment).
+template <typename Get, typename Set>
+void scale_category(std::vector<RtlUnit>& units, int category,
+                    std::uint64_t budget, Get get, Set set) {
+  std::uint64_t nominal = 0;
+  for (const auto& u : units) {
+    if (category_of(u) == category) nominal += get(u);
+  }
+  if (nominal == 0) return;
+  struct Frac {
+    std::size_t idx;
+    double frac;
+  };
+  std::vector<Frac> fracs;
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (category_of(units[i]) != category) continue;
+    const double exact = static_cast<double>(get(units[i])) *
+                         static_cast<double>(budget) /
+                         static_cast<double>(nominal);
+    const auto floor_v = static_cast<std::uint64_t>(exact);
+    set(units[i], static_cast<std::uint32_t>(floor_v));
+    assigned += floor_v;
+    fracs.push_back(Frac{i, exact - static_cast<double>(floor_v)});
+  }
+  std::sort(fracs.begin(), fracs.end(),
+            [](const Frac& a, const Frac& b) { return a.frac > b.frac; });
+  std::uint64_t remainder = budget - assigned;
+  for (std::size_t k = 0; remainder > 0; ++k, --remainder) {
+    auto& u = units[fracs[k % fracs.size()].idx];
+    set(u, static_cast<std::uint32_t>(get(u) + 1));
+  }
+}
+
+}  // namespace
+
+bool opcode_used_by_ml(Opcode op) noexcept {
+  return std::find(kMlOpcodes.begin(), kMlOpcodes.end(), op) !=
+         kMlOpcodes.end();
+}
+
+bool format_used_by_ml(Format f) noexcept {
+  return std::find(kMlFormats.begin(), kMlFormats.end(), f) !=
+         kMlFormats.end();
+}
+
+double gate_equivalents(const AreaTotals& area) noexcept {
+  // Linear model calibrated against the paper's Design Compiler runs
+  // (45 nm): ML-MIAOW's 183,715 LUTs / 76,375 FFs / 140 BRAMs map to
+  // 1,865,989 GE (Table I) within 0.5%.
+  return 7.44 * static_cast<double>(area.luts) +
+         4.7 * static_cast<double>(area.ffs) +
+         1000.0 * static_cast<double>(area.brams);
+}
+
+RtlInventory::RtlInventory() {
+  opcode_units_.assign(kNumOpcodes, 0);
+  format_units_.assign(kNumFormats, 0);
+  pipe_units_.assign(kNumPipes, 0);
+
+  auto add = [this](std::string name, UnitClass klass, bool alu_dec,
+                    bool used, std::uint32_t lut, std::uint32_t ff,
+                    std::uint32_t bram) {
+    RtlUnit u;
+    u.id = static_cast<std::uint32_t>(units_.size());
+    u.name = std::move(name);
+    u.klass = klass;
+    u.alu_or_decoder = alu_dec;
+    u.used_by_ml = used;
+    u.luts = lut;
+    u.ffs = ff;
+    u.brams = bram;
+    units_.push_back(std::move(u));
+    return units_.back().id;
+  };
+
+  // ---- structural blocks (always exercised => used_by_ml) ----
+  structural_.push_back(add("fetch", UnitClass::kStructural, false, true, 2600, 900, 0));
+  structural_.push_back(add("wavepool", UnitClass::kStructural, false, true, 2200, 1100, 0));
+  structural_.push_back(add("issue", UnitClass::kStructural, false, true, 1800, 700, 0));
+  structural_.push_back(add("exec_mask", UnitClass::kStructural, false, true, 600, 300, 0));
+  structural_.push_back(add("scoreboard", UnitClass::kStructural, false, true, 900, 400, 0));
+  structural_.push_back(add("instr_mem", UnitClass::kStructural, false, true, 800, 200, 4));
+  structural_.push_back(add("kernarg_regs", UnitClass::kStructural, false, true, 500, 350, 4));
+
+  // ---- per-format decoder sub-blocks ----
+  struct DecSpec { Format f; std::uint32_t lut, ff; };
+  constexpr DecSpec decs[] = {
+      {Format::kSop1, 250, 60},  {Format::kSop2, 300, 70},
+      {Format::kSopk, 200, 50},  {Format::kSopc, 180, 40},
+      {Format::kSopp, 220, 50},  {Format::kSmrd, 260, 80},
+      {Format::kVop1, 320, 80},  {Format::kVop2, 380, 90},
+      {Format::kVop3, 450, 110}, {Format::kVopc, 300, 70},
+      {Format::kFlat, 420, 120}, {Format::kDs, 380, 100},
+      {Format::kMubuf, 480, 130}, {Format::kMimg, 520, 140},
+      {Format::kVintrp, 260, 70}, {Format::kExp, 240, 60},
+  };
+  constexpr const char* dec_names[] = {
+      "dec_sop1", "dec_sop2", "dec_sopk", "dec_sopc", "dec_sopp",
+      "dec_smrd", "dec_vop1", "dec_vop2", "dec_vop3", "dec_vopc",
+      "dec_flat", "dec_ds",   "dec_mubuf", "dec_mimg", "dec_vintrp",
+      "dec_exp"};
+  for (const auto& d : decs) {
+    format_units_[static_cast<std::size_t>(d.f)] =
+        add(dec_names[static_cast<std::size_t>(d.f)], UnitClass::kDecoder,
+            true, format_used_by_ml(d.f), d.lut, d.ff, 0);
+  }
+
+  // ---- execution-pipe datapaths ----
+  struct PipeSpec { Pipe p; const char* name; bool alu; bool used; std::uint32_t lut, ff; };
+  const PipeSpec pipes[] = {
+      {Pipe::kSalu, "pipe_salu", true, true, 2300, 800},
+      {Pipe::kSmem, "pipe_smem", false, true, 700, 300},
+      {Pipe::kBranch, "pipe_branch", false, true, 500, 250},
+      {Pipe::kValuF32, "pipe_valu_f32", true, true, 5200, 1500},
+      {Pipe::kValuTrans, "pipe_valu_trans", true, true, 2800, 600},
+      {Pipe::kValuF64, "pipe_valu_f64", true, false, 32000, 18000},
+      {Pipe::kLsu, "pipe_lsu", false, true, 1900, 800},
+      {Pipe::kLds, "pipe_lds_ctl", false, true, 900, 400},
+      {Pipe::kAtomic, "pipe_atomic", false, false, 1200, 500},
+      {Pipe::kImage, "pipe_image", false, false, 6500, 2200},
+      {Pipe::kInterp, "pipe_interp", false, false, 1400, 500},
+      {Pipe::kExport, "pipe_export", false, false, 1100, 400},
+  };
+  for (const auto& p : pipes) {
+    pipe_units_[static_cast<std::size_t>(p.p)] =
+        add(p.name, UnitClass::kPipe, p.alu, p.used, p.lut, p.ff, 0);
+  }
+
+  // ---- per-opcode logic units ----
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const Pipe p = pipe_of(op);
+    std::uint32_t lut = 60, ff = 15;
+    switch (p) {
+      case Pipe::kSalu: lut = 120; ff = 30; break;
+      case Pipe::kBranch: lut = 30; ff = 8; break;
+      case Pipe::kSmem: lut = 80; ff = 20; break;
+      case Pipe::kValuF32: lut = 500; ff = 120; break;
+      case Pipe::kValuTrans: lut = 2200; ff = 300; break;
+      case Pipe::kValuF64: lut = 3500; ff = 1500; break;
+      case Pipe::kLsu: lut = 300; ff = 80; break;
+      case Pipe::kLds: lut = 200; ff = 60; break;
+      case Pipe::kAtomic: lut = 400; ff = 100; break;
+      case Pipe::kImage: lut = 900; ff = 200; break;
+      case Pipe::kInterp: lut = 300; ff = 60; break;
+      case Pipe::kExport: lut = 250; ff = 60; break;
+      case Pipe::kPipeCount: break;
+    }
+    opcode_units_[i] =
+        add("op_" + std::string(mnemonic(op)), UnitClass::kOpcode,
+            pipe_is_alu(p), opcode_used_by_ml(op), lut, ff, 0);
+  }
+
+  // ---- banked register files & LDS ----
+  // The shipped kernels fit in one VGPR bank (32 regs), two SGPR banks
+  // (26 regs) and one LDS bank (4 KiB); deeper banks are trim candidates
+  // that the MIAOW2.0-style sub-block trimmer cannot reach.
+  for (std::uint32_t b = 0; b < kNumRegBanks; ++b) {
+    vgpr_banks_.push_back(add("vgpr_bank" + std::to_string(b),
+                              UnitClass::kRegBank, false, b < 1, 5200, 2600, 12));
+  }
+  for (std::uint32_t b = 0; b < kNumRegBanks; ++b) {
+    sgpr_banks_.push_back(add("sgpr_bank" + std::to_string(b),
+                              UnitClass::kRegBank, false, b < 2, 380, 620, 0));
+  }
+  for (std::uint32_t b = 0; b < kNumRegBanks; ++b) {
+    lds_banks_.push_back(add("lds_bank" + std::to_string(b),
+                             UnitClass::kLdsBank, false, b < 1, 650, 1700, 8));
+  }
+
+  // ---- graphics-legacy / shared blocks outside the trimmer's sub-block domain ----
+  add("texture_cache", UnitClass::kMisc, false, false, 5200, 2100, 12);
+  add("gds", UnitClass::kMisc, false, false, 1800, 900, 4);
+  add("gfx_state_regs", UnitClass::kMisc, false, false, 900, 1400, 0);
+
+  // ---- calibrate nominal areas to the exact Table II budgets ----
+  auto get_lut = [](const RtlUnit& u) { return u.luts; };
+  auto set_lut = [](RtlUnit& u, std::uint32_t v) { u.luts = v; };
+  auto get_ff = [](const RtlUnit& u) { return u.ffs; };
+  auto set_ff = [](RtlUnit& u, std::uint32_t v) { u.ffs = v; };
+  scale_category(units_, 0, kBudgetA.luts, get_lut, set_lut);
+  scale_category(units_, 1, kBudgetB.luts, get_lut, set_lut);
+  scale_category(units_, 2, kBudgetC.luts, get_lut, set_lut);
+  scale_category(units_, 0, kBudgetA.ffs, get_ff, set_ff);
+  scale_category(units_, 1, kBudgetB.ffs, get_ff, set_ff);
+  scale_category(units_, 2, kBudgetC.ffs, get_ff, set_ff);
+}
+
+const RtlInventory& RtlInventory::instance() {
+  static const RtlInventory inv;
+  return inv;
+}
+
+std::uint32_t RtlInventory::opcode_unit(Opcode op) const {
+  return opcode_units_[static_cast<std::size_t>(op)];
+}
+
+std::uint32_t RtlInventory::format_unit(Format f) const {
+  return format_units_[static_cast<std::size_t>(f)];
+}
+
+std::uint32_t RtlInventory::pipe_unit(Pipe p) const {
+  return pipe_units_[static_cast<std::size_t>(p)];
+}
+
+std::uint32_t RtlInventory::vgpr_bank_unit(std::uint32_t bank) const {
+  return vgpr_banks_.at(bank);
+}
+
+std::uint32_t RtlInventory::sgpr_bank_unit(std::uint32_t bank) const {
+  return sgpr_banks_.at(bank);
+}
+
+std::uint32_t RtlInventory::lds_bank_unit(std::uint32_t bank) const {
+  return lds_banks_.at(bank);
+}
+
+AreaTotals RtlInventory::total_area() const {
+  return area_of(all_retained());
+}
+
+AreaTotals RtlInventory::area_of(const std::vector<bool>& retained) const {
+  AreaTotals a;
+  for (const auto& u : units_) {
+    if (!retained[u.id]) continue;
+    a.luts += u.luts;
+    a.ffs += u.ffs;
+    a.brams += u.brams;
+  }
+  return a;
+}
+
+std::vector<bool> RtlInventory::ml_retained() const {
+  std::vector<bool> r(units_.size(), false);
+  for (const auto& u : units_) r[u.id] = u.used_by_ml;
+  return r;
+}
+
+}  // namespace rtad::gpgpu

@@ -1,0 +1,696 @@
+// Functional interpreter. Documented simplifications vs. real SI:
+//  * global/scalar memory uses a 32-bit base in a single SGPR (not a pair);
+//  * v_add_i32/v_sub_i32 do not write carry to VCC;
+//  * v_sin/v_cos take radians; s_waitcnt is a no-op (memory completes by
+//    the time its cycle cost elapses, enforced by the CU timing model);
+//  * SCC is written by scalar compares and by logical/arithmetic ops as
+//    "result != 0".
+// None of these affect the ML kernels, which were written for this subset.
+#include "rtad/gpgpu/wavefront.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace rtad::gpgpu {
+
+namespace {
+
+float as_f32(std::uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, 4);
+  return f;
+}
+
+std::uint32_t as_bits(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  return b;
+}
+
+double as_f64(std::uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+
+std::uint64_t as_bits64(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, 8);
+  return b;
+}
+
+}  // namespace
+
+Wavefront::Wavefront(std::uint32_t num_vgprs) { reset(num_vgprs); }
+
+void Wavefront::reset(std::uint32_t num_vgprs) {
+  if (num_vgprs == 0 || num_vgprs > 256) {
+    throw std::invalid_argument("VGPR count must be in [1,256]");
+  }
+  pc_ = 0;
+  state_ = WaveState::kReady;
+  sgprs_.fill(0);
+  vgprs_.assign(num_vgprs, {});
+  exec_ = ~0ULL;
+  vcc_ = 0;
+  scc_ = false;
+  m0_ = 0;
+  max_vgpr_touched_ = 0;
+  max_sgpr_touched_ = 0;
+  max_lds_touched_ = 0;
+  workgroup_id = 0;
+  wave_in_group = 0;
+  busy_until_cycle = 0;
+}
+
+std::uint32_t Wavefront::sgpr(std::uint32_t i) const {
+  if (i >= kNumSgprs) throw std::out_of_range("SGPR index");
+  max_sgpr_touched_ = std::max(max_sgpr_touched_, i);
+  return sgprs_[i];
+}
+
+void Wavefront::set_sgpr(std::uint32_t i, std::uint32_t v) {
+  if (i >= kNumSgprs) throw std::out_of_range("SGPR index");
+  max_sgpr_touched_ = std::max(max_sgpr_touched_, i);
+  sgprs_[i] = v;
+}
+
+std::uint64_t Wavefront::sgpr64(std::uint32_t i) const {
+  return static_cast<std::uint64_t>(sgpr(i)) |
+         (static_cast<std::uint64_t>(sgpr(i + 1)) << 32);
+}
+
+void Wavefront::set_sgpr64(std::uint32_t i, std::uint64_t v) {
+  set_sgpr(i, static_cast<std::uint32_t>(v));
+  set_sgpr(i + 1, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t Wavefront::vgpr(std::uint32_t reg, std::uint32_t lane) const {
+  if (reg >= vgprs_.size()) throw std::out_of_range("VGPR index");
+  max_vgpr_touched_ = std::max(max_vgpr_touched_, reg);
+  return vgprs_[reg][lane];
+}
+
+void Wavefront::set_vgpr(std::uint32_t reg, std::uint32_t lane,
+                         std::uint32_t v) {
+  if (reg >= vgprs_.size()) throw std::out_of_range("VGPR index");
+  max_vgpr_touched_ = std::max(max_vgpr_touched_, reg);
+  vgprs_[reg][lane] = v;
+}
+
+float Wavefront::vgpr_f(std::uint32_t reg, std::uint32_t lane) const {
+  return as_f32(vgpr(reg, lane));
+}
+
+void Wavefront::set_vgpr_f(std::uint32_t reg, std::uint32_t lane, float v) {
+  set_vgpr(reg, lane, as_bits(v));
+}
+
+std::uint32_t Wavefront::read_operand_scalar(const Operand& op) const {
+  switch (op.kind) {
+    case OperandKind::kSgpr: return sgpr(op.index);
+    case OperandKind::kLiteral: return op.literal;
+    case OperandKind::kVcc: return static_cast<std::uint32_t>(vcc_);
+    case OperandKind::kExec: return static_cast<std::uint32_t>(exec_);
+    case OperandKind::kScc: return scc_ ? 1u : 0u;
+    case OperandKind::kM0: return m0_;
+    default:
+      throw std::invalid_argument("operand not readable as scalar");
+  }
+}
+
+std::uint64_t Wavefront::read_operand_scalar64(const Operand& op) const {
+  switch (op.kind) {
+    case OperandKind::kSgpr: return sgpr64(op.index);
+    case OperandKind::kLiteral:
+      return static_cast<std::uint64_t>(op.literal);  // zero-extended
+    case OperandKind::kVcc: return vcc_;
+    case OperandKind::kExec: return exec_;
+    default:
+      throw std::invalid_argument("operand not readable as 64-bit scalar");
+  }
+}
+
+void Wavefront::write_operand_scalar(const Operand& op, std::uint32_t v) {
+  switch (op.kind) {
+    case OperandKind::kSgpr: set_sgpr(op.index, v); return;
+    case OperandKind::kVcc: vcc_ = v; return;
+    case OperandKind::kExec:
+      exec_ = (exec_ & ~0xFFFFFFFFULL) | v;
+      return;
+    case OperandKind::kM0: m0_ = v; return;
+    default:
+      throw std::invalid_argument("operand not writable as scalar");
+  }
+}
+
+void Wavefront::write_operand_scalar64(const Operand& op, std::uint64_t v) {
+  switch (op.kind) {
+    case OperandKind::kSgpr: set_sgpr64(op.index, v); return;
+    case OperandKind::kVcc: vcc_ = v; return;
+    case OperandKind::kExec: exec_ = v; return;
+    default:
+      throw std::invalid_argument("operand not writable as 64-bit scalar");
+  }
+}
+
+std::uint32_t Wavefront::read_operand_lane(const Operand& op,
+                                           std::uint32_t lane) const {
+  switch (op.kind) {
+    case OperandKind::kVgpr: return vgpr(op.index, lane);
+    case OperandKind::kSgpr: return sgpr(op.index);  // broadcast
+    case OperandKind::kLiteral: return op.literal;
+    case OperandKind::kM0: return m0_;
+    default:
+      throw std::invalid_argument("operand not readable per-lane");
+  }
+}
+
+float Wavefront::read_operand_lane_f(const Operand& op,
+                                     std::uint32_t lane) const {
+  return as_f32(read_operand_lane(op, lane));
+}
+
+std::uint32_t Wavefront::lds_word(ExecContext& ctx, std::uint32_t byte_addr,
+                                  bool write, std::uint32_t value) {
+  if (ctx.lds == nullptr) throw std::runtime_error("no LDS bound");
+  if (byte_addr % 4 != 0) throw std::invalid_argument("unaligned LDS access");
+  const std::uint32_t word = byte_addr / 4;
+  if (word >= ctx.lds->size()) throw std::out_of_range("LDS access");
+  max_lds_touched_ = std::max(max_lds_touched_, byte_addr + 3);
+  if (write) {
+    (*ctx.lds)[word] = value;
+    return value;
+  }
+  return (*ctx.lds)[word];
+}
+
+void Wavefront::execute(const Instruction& inst, ExecContext& ctx) {
+  const std::uint32_t next_pc = pc_ + 1;
+  pc_ = next_pc;
+
+  auto for_active = [&](auto&& fn) {
+    for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) {
+      if (exec_ & (1ULL << lane)) fn(lane);
+    }
+  };
+
+  auto vop2_f32 = [&](auto&& fn) {
+    for_active([&](std::uint32_t lane) {
+      const float a = read_operand_lane_f(inst.src0, lane);
+      const float b = read_operand_lane_f(inst.src1, lane);
+      set_vgpr_f(inst.dst.index, lane, fn(a, b, lane));
+    });
+  };
+
+  auto vop2_i32 = [&](auto&& fn) {
+    for_active([&](std::uint32_t lane) {
+      const std::uint32_t a = read_operand_lane(inst.src0, lane);
+      const std::uint32_t b = read_operand_lane(inst.src1, lane);
+      set_vgpr(inst.dst.index, lane, fn(a, b));
+    });
+  };
+
+  auto vop1_f32 = [&](auto&& fn) {
+    for_active([&](std::uint32_t lane) {
+      set_vgpr_f(inst.dst.index, lane,
+                 fn(read_operand_lane_f(inst.src0, lane)));
+    });
+  };
+
+  auto vopc = [&](auto&& cmp) {
+    std::uint64_t result = 0;
+    for_active([&](std::uint32_t lane) {
+      if (cmp(lane)) result |= 1ULL << lane;
+    });
+    vcc_ = result;
+  };
+
+  auto vopc_f32 = [&](auto&& cmp) {
+    vopc([&](std::uint32_t lane) {
+      return cmp(read_operand_lane_f(inst.src0, lane),
+                 read_operand_lane_f(inst.src1, lane));
+    });
+  };
+
+  auto vopc_i32 = [&](auto&& cmp) {
+    vopc([&](std::uint32_t lane) {
+      return cmp(static_cast<std::int32_t>(read_operand_lane(inst.src0, lane)),
+                 static_cast<std::int32_t>(read_operand_lane(inst.src1, lane)));
+    });
+  };
+
+  auto scalar2 = [&](auto&& fn) {
+    const std::uint32_t a = read_operand_scalar(inst.src0);
+    const std::uint32_t b = read_operand_scalar(inst.src1);
+    const std::uint32_t r = fn(a, b);
+    write_operand_scalar(inst.dst, r);
+    scc_ = r != 0;
+  };
+
+  auto scmp = [&](auto&& cmp) {
+    scc_ = cmp(static_cast<std::int32_t>(read_operand_scalar(inst.src0)),
+               static_cast<std::int32_t>(read_operand_scalar(inst.src1)));
+  };
+
+  auto vgpr64_lane = [&](std::uint32_t reg, std::uint32_t lane) {
+    return static_cast<std::uint64_t>(vgpr(reg, lane)) |
+           (static_cast<std::uint64_t>(vgpr(reg + 1, lane)) << 32);
+  };
+  auto set_vgpr64_lane = [&](std::uint32_t reg, std::uint32_t lane,
+                             std::uint64_t v) {
+    set_vgpr(reg, lane, static_cast<std::uint32_t>(v));
+    set_vgpr(reg + 1, lane, static_cast<std::uint32_t>(v >> 32));
+  };
+  auto src_f64 = [&](const Operand& op, std::uint32_t lane) {
+    if (op.kind == OperandKind::kVgpr) return as_f64(vgpr64_lane(op.index, lane));
+    if (op.kind == OperandKind::kLiteral)
+      return static_cast<double>(as_f32(op.literal));
+    throw std::invalid_argument("bad f64 operand");
+  };
+  auto vop_f64 = [&](auto&& fn) {
+    for_active([&](std::uint32_t lane) {
+      set_vgpr64_lane(inst.dst.index, lane, as_bits64(fn(lane)));
+    });
+  };
+
+  switch (inst.op) {
+    // ---- scalar moves / logic / arithmetic ----
+    case Opcode::S_MOV_B32:
+      write_operand_scalar(inst.dst, read_operand_scalar(inst.src0));
+      break;
+    case Opcode::S_MOVK_I32:
+      write_operand_scalar(
+          inst.dst, static_cast<std::uint32_t>(
+                        static_cast<std::int32_t>(static_cast<std::int16_t>(
+                            inst.imm & 0xFFFF))));
+      break;
+    case Opcode::S_NOT_B32:
+      write_operand_scalar(inst.dst, ~read_operand_scalar(inst.src0));
+      scc_ = read_operand_scalar(inst.dst) != 0;
+      break;
+    case Opcode::S_ADD_I32:
+    case Opcode::S_ADD_U32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a + b; });
+      break;
+    case Opcode::S_SUB_I32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a - b; });
+      break;
+    case Opcode::S_MUL_I32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a * b; });
+      break;
+    case Opcode::S_AND_B32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a & b; });
+      break;
+    case Opcode::S_OR_B32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a | b; });
+      break;
+    case Opcode::S_XOR_B32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a ^ b; });
+      break;
+    case Opcode::S_LSHL_B32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a << (b & 31); });
+      break;
+    case Opcode::S_LSHR_B32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a >> (b & 31); });
+      break;
+    case Opcode::S_ASHR_I32:
+      scalar2([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >>
+                                          (b & 31));
+      });
+      break;
+    case Opcode::S_MIN_I32:
+      scalar2([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(
+            std::min(static_cast<std::int32_t>(a), static_cast<std::int32_t>(b)));
+      });
+      break;
+    case Opcode::S_MAX_I32:
+      scalar2([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(
+            std::max(static_cast<std::int32_t>(a), static_cast<std::int32_t>(b)));
+      });
+      break;
+
+    // ---- scalar compares ----
+    case Opcode::S_CMP_EQ_I32: scmp([](auto a, auto b) { return a == b; }); break;
+    case Opcode::S_CMP_LG_I32: scmp([](auto a, auto b) { return a != b; }); break;
+    case Opcode::S_CMP_GT_I32: scmp([](auto a, auto b) { return a > b; }); break;
+    case Opcode::S_CMP_GE_I32: scmp([](auto a, auto b) { return a >= b; }); break;
+    case Opcode::S_CMP_LT_I32: scmp([](auto a, auto b) { return a < b; }); break;
+    case Opcode::S_CMP_LE_I32: scmp([](auto a, auto b) { return a <= b; }); break;
+
+    // ---- scalar 64-bit ----
+    case Opcode::S_MOV_B64:
+      write_operand_scalar64(inst.dst, read_operand_scalar64(inst.src0));
+      break;
+    case Opcode::S_AND_B64:
+      write_operand_scalar64(inst.dst, read_operand_scalar64(inst.src0) &
+                                           read_operand_scalar64(inst.src1));
+      break;
+    case Opcode::S_OR_B64:
+      write_operand_scalar64(inst.dst, read_operand_scalar64(inst.src0) |
+                                           read_operand_scalar64(inst.src1));
+      break;
+    case Opcode::S_ANDN2_B64:
+      write_operand_scalar64(inst.dst, read_operand_scalar64(inst.src0) &
+                                           ~read_operand_scalar64(inst.src1));
+      break;
+    case Opcode::S_NOT_B64:
+      write_operand_scalar64(inst.dst, ~read_operand_scalar64(inst.src0));
+      break;
+
+    // ---- control ----
+    case Opcode::S_BRANCH: pc_ = static_cast<std::uint32_t>(inst.imm); break;
+    case Opcode::S_CBRANCH_SCC0:
+      if (!scc_) pc_ = static_cast<std::uint32_t>(inst.imm);
+      break;
+    case Opcode::S_CBRANCH_SCC1:
+      if (scc_) pc_ = static_cast<std::uint32_t>(inst.imm);
+      break;
+    case Opcode::S_CBRANCH_VCCZ:
+      if (vcc_ == 0) pc_ = static_cast<std::uint32_t>(inst.imm);
+      break;
+    case Opcode::S_CBRANCH_VCCNZ:
+      if (vcc_ != 0) pc_ = static_cast<std::uint32_t>(inst.imm);
+      break;
+    case Opcode::S_CBRANCH_EXECZ:
+      if (exec_ == 0) pc_ = static_cast<std::uint32_t>(inst.imm);
+      break;
+    case Opcode::S_BARRIER: state_ = WaveState::kAtBarrier; break;
+    case Opcode::S_ENDPGM: state_ = WaveState::kDone; break;
+    case Opcode::S_WAITCNT:
+    case Opcode::S_NOP:
+    case Opcode::S_SLEEP:
+    case Opcode::S_SENDMSG:
+      break;
+
+    // ---- scalar memory ----
+    case Opcode::S_LOAD_DWORD: {
+      const std::uint64_t addr =
+          read_operand_scalar(inst.src0) + static_cast<std::uint32_t>(inst.imm);
+      write_operand_scalar(inst.dst, ctx.mem->read32(addr));
+      break;
+    }
+    case Opcode::S_LOAD_DWORDX2:
+    case Opcode::S_LOAD_DWORDX4: {
+      const int n = inst.op == Opcode::S_LOAD_DWORDX2 ? 2 : 4;
+      const std::uint64_t addr =
+          read_operand_scalar(inst.src0) + static_cast<std::uint32_t>(inst.imm);
+      for (int i = 0; i < n; ++i) {
+        set_sgpr(inst.dst.index + static_cast<std::uint32_t>(i),
+                 ctx.mem->read32(addr + 4 * static_cast<std::uint64_t>(i)));
+      }
+      break;
+    }
+
+    // ---- vector moves / conversions ----
+    case Opcode::V_MOV_B32:
+      for_active([&](std::uint32_t lane) {
+        set_vgpr(inst.dst.index, lane, read_operand_lane(inst.src0, lane));
+      });
+      break;
+    case Opcode::V_NOT_B32:
+      for_active([&](std::uint32_t lane) {
+        set_vgpr(inst.dst.index, lane, ~read_operand_lane(inst.src0, lane));
+      });
+      break;
+    case Opcode::V_CVT_F32_I32:
+      for_active([&](std::uint32_t lane) {
+        set_vgpr_f(inst.dst.index, lane,
+                   static_cast<float>(static_cast<std::int32_t>(
+                       read_operand_lane(inst.src0, lane))));
+      });
+      break;
+    case Opcode::V_CVT_I32_F32:
+      for_active([&](std::uint32_t lane) {
+        set_vgpr(inst.dst.index, lane,
+                 static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                     read_operand_lane_f(inst.src0, lane))));
+      });
+      break;
+    case Opcode::V_CVT_F32_U32:
+      for_active([&](std::uint32_t lane) {
+        set_vgpr_f(inst.dst.index, lane,
+                   static_cast<float>(read_operand_lane(inst.src0, lane)));
+      });
+      break;
+    case Opcode::V_CVT_U32_F32:
+      for_active([&](std::uint32_t lane) {
+        const float f = read_operand_lane_f(inst.src0, lane);
+        set_vgpr(inst.dst.index, lane,
+                 f <= 0.0f ? 0u : static_cast<std::uint32_t>(f));
+      });
+      break;
+    case Opcode::V_FLOOR_F32:
+      vop1_f32([](float a) { return std::floor(a); });
+      break;
+    case Opcode::V_FRACT_F32:
+      vop1_f32([](float a) { return a - std::floor(a); });
+      break;
+
+    // ---- vector f32 ----
+    case Opcode::V_ADD_F32:
+      vop2_f32([](float a, float b, std::uint32_t) { return a + b; });
+      break;
+    case Opcode::V_SUB_F32:
+      vop2_f32([](float a, float b, std::uint32_t) { return a - b; });
+      break;
+    case Opcode::V_MUL_F32:
+      vop2_f32([](float a, float b, std::uint32_t) { return a * b; });
+      break;
+    case Opcode::V_MAC_F32:
+      for_active([&](std::uint32_t lane) {
+        const float a = read_operand_lane_f(inst.src0, lane);
+        const float b = read_operand_lane_f(inst.src1, lane);
+        set_vgpr_f(inst.dst.index, lane,
+                   vgpr_f(inst.dst.index, lane) + a * b);
+      });
+      break;
+    case Opcode::V_MIN_F32:
+      vop2_f32([](float a, float b, std::uint32_t) { return std::min(a, b); });
+      break;
+    case Opcode::V_MAX_F32:
+      vop2_f32([](float a, float b, std::uint32_t) { return std::max(a, b); });
+      break;
+    case Opcode::V_MAD_F32:
+    case Opcode::V_FMA_F32:
+      for_active([&](std::uint32_t lane) {
+        const float a = read_operand_lane_f(inst.src0, lane);
+        const float b = read_operand_lane_f(inst.src1, lane);
+        const float c = read_operand_lane_f(inst.src2, lane);
+        set_vgpr_f(inst.dst.index, lane,
+                   inst.op == Opcode::V_FMA_F32 ? std::fma(a, b, c)
+                                                : a * b + c);
+      });
+      break;
+
+    // ---- vector i32 ----
+    case Opcode::V_ADD_I32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return a + b; });
+      break;
+    case Opcode::V_SUB_I32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return a - b; });
+      break;
+    case Opcode::V_MUL_LO_I32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return a * b; });
+      break;
+    case Opcode::V_MUL_HI_U32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(a) * b) >> 32);
+      });
+      break;
+    case Opcode::V_LSHLREV_B32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return b << (a & 31); });
+      break;
+    case Opcode::V_LSHRREV_B32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return b >> (a & 31); });
+      break;
+    case Opcode::V_ASHRREV_I32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(static_cast<std::int32_t>(b) >>
+                                          (a & 31));
+      });
+      break;
+    case Opcode::V_AND_B32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return a & b; });
+      break;
+    case Opcode::V_OR_B32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return a | b; });
+      break;
+    case Opcode::V_XOR_B32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return a ^ b; });
+      break;
+    case Opcode::V_MIN_I32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(
+            std::min(static_cast<std::int32_t>(a), static_cast<std::int32_t>(b)));
+      });
+      break;
+    case Opcode::V_MAX_I32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(
+            std::max(static_cast<std::int32_t>(a), static_cast<std::int32_t>(b)));
+      });
+      break;
+    case Opcode::V_CNDMASK_B32:
+      for_active([&](std::uint32_t lane) {
+        const bool sel = (vcc_ >> lane) & 1;
+        set_vgpr(inst.dst.index, lane,
+                 sel ? read_operand_lane(inst.src1, lane)
+                     : read_operand_lane(inst.src0, lane));
+      });
+      break;
+
+    // ---- transcendentals ----
+    case Opcode::V_RCP_F32: vop1_f32([](float a) { return 1.0f / a; }); break;
+    case Opcode::V_RSQ_F32:
+      vop1_f32([](float a) { return 1.0f / std::sqrt(a); });
+      break;
+    case Opcode::V_SQRT_F32:
+      vop1_f32([](float a) { return std::sqrt(a); });
+      break;
+    case Opcode::V_EXP_F32:  // SI semantics: 2^x
+      vop1_f32([](float a) { return std::exp2(a); });
+      break;
+    case Opcode::V_LOG_F32:  // SI semantics: log2(x)
+      vop1_f32([](float a) { return std::log2(a); });
+      break;
+    case Opcode::V_SIN_F32: vop1_f32([](float a) { return std::sin(a); }); break;
+    case Opcode::V_COS_F32: vop1_f32([](float a) { return std::cos(a); }); break;
+
+    // ---- vector compares ----
+    case Opcode::V_CMP_EQ_F32: vopc_f32([](float a, float b) { return a == b; }); break;
+    case Opcode::V_CMP_NEQ_F32: vopc_f32([](float a, float b) { return a != b; }); break;
+    case Opcode::V_CMP_LT_F32: vopc_f32([](float a, float b) { return a < b; }); break;
+    case Opcode::V_CMP_LE_F32: vopc_f32([](float a, float b) { return a <= b; }); break;
+    case Opcode::V_CMP_GT_F32: vopc_f32([](float a, float b) { return a > b; }); break;
+    case Opcode::V_CMP_GE_F32: vopc_f32([](float a, float b) { return a >= b; }); break;
+    case Opcode::V_CMP_EQ_I32: vopc_i32([](auto a, auto b) { return a == b; }); break;
+    case Opcode::V_CMP_NE_I32: vopc_i32([](auto a, auto b) { return a != b; }); break;
+    case Opcode::V_CMP_LT_I32: vopc_i32([](auto a, auto b) { return a < b; }); break;
+    case Opcode::V_CMP_GT_I32: vopc_i32([](auto a, auto b) { return a > b; }); break;
+
+    // ---- double-precision pipe ----
+    case Opcode::V_ADD_F64:
+      vop_f64([&](std::uint32_t lane) {
+        return src_f64(inst.src0, lane) + src_f64(inst.src1, lane);
+      });
+      break;
+    case Opcode::V_MUL_F64:
+      vop_f64([&](std::uint32_t lane) {
+        return src_f64(inst.src0, lane) * src_f64(inst.src1, lane);
+      });
+      break;
+    case Opcode::V_FMA_F64:
+      vop_f64([&](std::uint32_t lane) {
+        return std::fma(src_f64(inst.src0, lane), src_f64(inst.src1, lane),
+                        src_f64(inst.src2, lane));
+      });
+      break;
+    case Opcode::V_RCP_F64:
+      vop_f64([&](std::uint32_t lane) { return 1.0 / src_f64(inst.src0, lane); });
+      break;
+    case Opcode::V_CVT_F64_F32:
+      vop_f64([&](std::uint32_t lane) {
+        return static_cast<double>(read_operand_lane_f(inst.src0, lane));
+      });
+      break;
+    case Opcode::V_CVT_F32_F64:
+      for_active([&](std::uint32_t lane) {
+        set_vgpr_f(inst.dst.index, lane,
+                   static_cast<float>(src_f64(inst.src0, lane)));
+      });
+      break;
+
+    // ---- vector memory ----
+    case Opcode::GLOBAL_LOAD_DWORD:
+      for_active([&](std::uint32_t lane) {
+        const std::uint64_t addr = read_operand_scalar(inst.src1) +
+                                   vgpr(inst.src0.index, lane) +
+                                   static_cast<std::uint32_t>(inst.imm);
+        set_vgpr(inst.dst.index, lane, ctx.mem->read32(addr));
+      });
+      break;
+    case Opcode::GLOBAL_STORE_DWORD:
+      for_active([&](std::uint32_t lane) {
+        const std::uint64_t addr = read_operand_scalar(inst.src1) +
+                                   vgpr(inst.src0.index, lane) +
+                                   static_cast<std::uint32_t>(inst.imm);
+        ctx.mem->write32(addr, vgpr(inst.dst.index, lane));
+      });
+      break;
+
+    // ---- LDS ----
+    case Opcode::DS_READ_B32:
+      for_active([&](std::uint32_t lane) {
+        const std::uint32_t addr = vgpr(inst.src0.index, lane) +
+                                   static_cast<std::uint32_t>(inst.imm);
+        set_vgpr(inst.dst.index, lane, lds_word(ctx, addr, false, 0));
+      });
+      break;
+    case Opcode::DS_WRITE_B32:
+      for_active([&](std::uint32_t lane) {
+        const std::uint32_t addr = vgpr(inst.src0.index, lane) +
+                                   static_cast<std::uint32_t>(inst.imm);
+        lds_word(ctx, addr, true, vgpr(inst.dst.index, lane));
+      });
+      break;
+    case Opcode::DS_ADD_U32:
+      for_active([&](std::uint32_t lane) {
+        const std::uint32_t addr = vgpr(inst.src0.index, lane) +
+                                   static_cast<std::uint32_t>(inst.imm);
+        const std::uint32_t old = lds_word(ctx, addr, false, 0);
+        lds_word(ctx, addr, true, old + vgpr(inst.dst.index, lane));
+      });
+      break;
+
+    // ---- atomics / graphics-legacy pipes ----
+    case Opcode::BUFFER_ATOMIC_ADD:
+      for_active([&](std::uint32_t lane) {
+        const std::uint64_t addr = read_operand_scalar(inst.src1) +
+                                   vgpr(inst.src0.index, lane) +
+                                   static_cast<std::uint32_t>(inst.imm);
+        const std::uint32_t old = ctx.mem->read32(addr);
+        ctx.mem->write32(addr, old + vgpr(inst.src2.index, lane));
+        set_vgpr(inst.dst.index, lane, old);
+      });
+      break;
+    case Opcode::IMAGE_LOAD:
+    case Opcode::IMAGE_SAMPLE:
+      // Simplified MIMG: M0 holds the image base; the vaddr VGPR is a texel
+      // index (nearest sampling degenerates to an indexed fetch).
+      for_active([&](std::uint32_t lane) {
+        const std::uint64_t addr =
+            m0_ + 4ULL * vgpr(inst.src0.index, lane);
+        set_vgpr(inst.dst.index, lane, ctx.mem->read32(addr));
+      });
+      break;
+    case Opcode::V_INTERP_P1_F32:
+      for_active([&](std::uint32_t lane) {
+        set_vgpr_f(inst.dst.index, lane,
+                   0.5f * read_operand_lane_f(inst.src0, lane));
+      });
+      break;
+    case Opcode::V_INTERP_P2_F32:
+      for_active([&](std::uint32_t lane) {
+        set_vgpr_f(inst.dst.index, lane,
+                   vgpr_f(inst.dst.index, lane) +
+                       0.5f * read_operand_lane_f(inst.src0, lane));
+      });
+      break;
+    case Opcode::EXP:
+      for_active([&](std::uint32_t lane) {
+        ctx.mem->write32(m0_ + 4ULL * lane, vgpr(inst.src0.index, lane));
+      });
+      break;
+
+    case Opcode::kOpcodeCount:
+      throw std::logic_error("invalid opcode");
+  }
+}
+
+}  // namespace rtad::gpgpu

@@ -1,0 +1,111 @@
+// Wavefront state and the functional instruction interpreter.
+//
+// A wavefront is 64 lanes sharing one program counter, an EXEC mask, VCC,
+// SCC, M0 and a scalar register file, exactly as in Southern Islands /
+// MIAOW. The interpreter here is purely functional; issue timing, coverage
+// recording and trim checking live in ComputeUnit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "rtad/gpgpu/device_memory.hpp"
+#include "rtad/gpgpu/isa.hpp"
+
+namespace rtad::gpgpu {
+
+inline constexpr std::uint32_t kWavefrontSize = 64;
+inline constexpr std::uint32_t kNumSgprs = 104;
+
+/// Execution resources visible to a wavefront while it runs.
+struct ExecContext {
+  DeviceMemory* mem = nullptr;
+  std::vector<std::uint32_t>* lds = nullptr;  ///< workgroup-shared, words
+};
+
+enum class WaveState : std::uint8_t {
+  kReady,      ///< can issue
+  kBusy,       ///< executing a multi-cycle instruction
+  kAtBarrier,  ///< parked at s_barrier
+  kDone,       ///< retired s_endpgm
+};
+
+class Wavefront {
+ public:
+  /// `num_vgprs` is the register-file depth allocated to this wave.
+  explicit Wavefront(std::uint32_t num_vgprs = 64);
+
+  /// Execute the instruction at the current PC state. The caller fetched
+  /// `inst` from the program at `pc()`; this advances the PC (including
+  /// taken branches) and applies all architectural effects.
+  void execute(const Instruction& inst, ExecContext& ctx);
+
+  // --- architectural state accessors ---
+  std::uint32_t pc() const noexcept { return pc_; }
+  void set_pc(std::uint32_t pc) noexcept { pc_ = pc; }
+  WaveState state() const noexcept { return state_; }
+  void set_state(WaveState s) noexcept { state_ = s; }
+
+  std::uint32_t sgpr(std::uint32_t i) const;
+  void set_sgpr(std::uint32_t i, std::uint32_t v);
+  std::uint64_t sgpr64(std::uint32_t i) const;
+  void set_sgpr64(std::uint32_t i, std::uint64_t v);
+
+  std::uint32_t vgpr(std::uint32_t reg, std::uint32_t lane) const;
+  void set_vgpr(std::uint32_t reg, std::uint32_t lane, std::uint32_t v);
+  float vgpr_f(std::uint32_t reg, std::uint32_t lane) const;
+  void set_vgpr_f(std::uint32_t reg, std::uint32_t lane, float v);
+
+  std::uint64_t exec_mask() const noexcept { return exec_; }
+  void set_exec_mask(std::uint64_t m) noexcept { exec_ = m; }
+  std::uint64_t vcc() const noexcept { return vcc_; }
+  void set_vcc(std::uint64_t v) noexcept { vcc_ = v; }
+  bool scc() const noexcept { return scc_; }
+  void set_scc(bool s) noexcept { scc_ = s; }
+  std::uint32_t m0() const noexcept { return m0_; }
+  void set_m0(std::uint32_t v) noexcept { m0_ = v; }
+
+  std::uint32_t num_vgprs() const noexcept {
+    return static_cast<std::uint32_t>(vgprs_.size());
+  }
+  /// Highest VGPR / SGPR index ever written or read (coverage input for the
+  /// register-file trimming analysis).
+  std::uint32_t max_vgpr_touched() const noexcept { return max_vgpr_touched_; }
+  std::uint32_t max_sgpr_touched() const noexcept { return max_sgpr_touched_; }
+  /// Highest LDS byte address touched.
+  std::uint32_t max_lds_touched() const noexcept { return max_lds_touched_; }
+
+  // --- workgroup bookkeeping (set by the dispatcher) ---
+  std::uint32_t workgroup_id = 0;
+  std::uint32_t wave_in_group = 0;
+  std::uint64_t busy_until_cycle = 0;  ///< CU-local completion time
+
+  void reset(std::uint32_t num_vgprs);
+
+ private:
+  std::uint32_t read_operand_scalar(const Operand& op) const;
+  std::uint64_t read_operand_scalar64(const Operand& op) const;
+  void write_operand_scalar(const Operand& op, std::uint32_t v);
+  void write_operand_scalar64(const Operand& op, std::uint64_t v);
+  std::uint32_t read_operand_lane(const Operand& op, std::uint32_t lane) const;
+  float read_operand_lane_f(const Operand& op, std::uint32_t lane) const;
+
+  std::uint32_t lds_word(ExecContext& ctx, std::uint32_t byte_addr,
+                         bool write, std::uint32_t value);
+
+  std::uint32_t pc_ = 0;
+  WaveState state_ = WaveState::kReady;
+  std::array<std::uint32_t, kNumSgprs> sgprs_{};
+  std::vector<std::array<std::uint32_t, kWavefrontSize>> vgprs_;
+  std::uint64_t exec_ = ~0ULL;
+  std::uint64_t vcc_ = 0;
+  bool scc_ = false;
+  std::uint32_t m0_ = 0;
+
+  mutable std::uint32_t max_vgpr_touched_ = 0;
+  mutable std::uint32_t max_sgpr_touched_ = 0;
+  std::uint32_t max_lds_touched_ = 0;
+};
+
+}  // namespace rtad::gpgpu

@@ -1,0 +1,43 @@
+#include "rtad/igm/igm.hpp"
+
+namespace rtad::igm {
+
+Igm::Igm(IgmConfig config, sim::Fifo<coresight::TpiuWord>& tpiu_port)
+    : sim::Component("igm"),
+      config_(config),
+      ta_(tpiu_port, config.ta_width),
+      p2s_(ta_.out()),
+      encoder_(config.encoder),
+      out_(config.out_capacity) {}
+
+void Igm::reset() {
+  ta_.reset();
+  p2s_.reset();
+  encoder_.reset();
+  out_.clear();
+  vectors_out_ = 0;
+  cycles_ = 0;
+}
+
+void Igm::tick() {
+  ++cycles_;
+  // IVG stage: consume one address produced by the P2S last cycle.
+  if (!p2s_.out().empty() && !out_.full()) {
+    const DecodedBranch branch = *p2s_.out().pop();
+    const bool pass = mapper_.passes(branch);
+    mapper_.note(pass);
+    if (pass) {
+      InputVector vec;
+      if (encoder_.encode(branch, vec)) {
+        out_.try_push(vec);
+        ++vectors_out_;
+        if (emit_observer_) emit_observer_(vec, local_time_ps());
+      }
+    }
+  }
+  // Upstream stages (consumer-first evaluation).
+  p2s_.tick();
+  ta_.tick();
+}
+
+}  // namespace rtad::igm

@@ -1,0 +1,72 @@
+// Input Generation Module — the assembled pipeline of Fig. 2.
+//
+//   TPIU port (32-bit) -> Trace Analyzer (4 TA units) -> P2S ->
+//   Input Vector Generator (address mapper + vector encoder) -> MCM FIFO
+//
+// Ticked at the 125 MHz MLPU fabric clock. Stages are evaluated
+// consumer-first within one tick so each stage sees its predecessor's
+// previous-cycle output: the pipeline has one cycle of latency per stage,
+// giving the 2-cycle (16 ns) P2S+IVG figure the paper reports for step (2)
+// of the RTAD transfer path (Fig. 7).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "rtad/coresight/tpiu.hpp"
+#include "rtad/igm/address_mapper.hpp"
+#include "rtad/igm/p2s.hpp"
+#include "rtad/igm/trace_analyzer.hpp"
+#include "rtad/igm/vector_encoder.hpp"
+#include "rtad/sim/component.hpp"
+#include "rtad/sim/fifo.hpp"
+
+namespace rtad::igm {
+
+struct IgmConfig {
+  std::uint32_t ta_width = 4;          ///< TA units
+  std::size_t out_capacity = 16;       ///< vectors buffered toward the MCM
+  VectorEncoderConfig encoder{};
+  sim::Picoseconds clock_period_ps = 8'000;  ///< 125 MHz fabric
+};
+
+class Igm final : public sim::Component {
+ public:
+  Igm(IgmConfig config, sim::Fifo<coresight::TpiuWord>& tpiu_port);
+
+  /// Output side: the MCM pulls ready input vectors from here.
+  sim::Fifo<InputVector>& out() noexcept { return out_; }
+
+  AddressMapper& mapper() noexcept { return mapper_; }
+  VectorEncoder& encoder() noexcept { return encoder_; }
+  const TraceAnalyzer& trace_analyzer() const noexcept { return ta_; }
+
+  void tick() override;
+  void reset() override;
+
+  std::uint64_t vectors_out() const noexcept { return vectors_out_; }
+  std::uint64_t drops_at_output() const noexcept { return out_.overflows(); }
+  sim::Picoseconds local_time_ps() const noexcept {
+    return cycles_ * config_.clock_period_ps;
+  }
+
+  /// Probe: called with (vector, emit time) for every emitted vector —
+  /// used by the Fig. 7 latency-breakdown experiment.
+  void set_emit_observer(
+      std::function<void(const InputVector&, sim::Picoseconds)> fn) {
+    emit_observer_ = std::move(fn);
+  }
+
+ private:
+  IgmConfig config_;
+  TraceAnalyzer ta_;
+  P2s p2s_;
+  AddressMapper mapper_;
+  VectorEncoder encoder_;
+  sim::Fifo<InputVector> out_;
+  std::uint64_t vectors_out_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::function<void(const InputVector&, sim::Picoseconds)> emit_observer_;
+};
+
+}  // namespace rtad::igm

@@ -1,0 +1,31 @@
+// Parallel-to-serial converter between TA and the input vector generator.
+//
+// The 32-bit TPIU word can decode into as many as four branch addresses in
+// one cycle; the IVG datapath accepts one address per cycle, so the P2S
+// buffers the burst and serializes it (§III-A).
+#pragma once
+
+#include "rtad/igm/pft_decoder.hpp"
+#include "rtad/sim/component.hpp"
+#include "rtad/sim/fifo.hpp"
+
+namespace rtad::igm {
+
+class P2s final : public sim::Component {
+ public:
+  explicit P2s(sim::Fifo<DecodedBranch>& in, std::size_t out_capacity = 8);
+
+  sim::Fifo<DecodedBranch>& out() noexcept { return out_; }
+
+  void tick() override;
+  void reset() override;
+
+  std::uint64_t forwarded() const noexcept { return forwarded_; }
+
+ private:
+  sim::Fifo<DecodedBranch>& in_;
+  sim::Fifo<DecodedBranch> out_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace rtad::igm

@@ -1,0 +1,153 @@
+#include "rtad/igm/pft_decoder.hpp"
+
+namespace rtad::igm {
+
+using coresight::classify_header;
+using coresight::kContinuationBit;
+using coresight::PacketType;
+
+void PftStreamDecoder::reset() {
+  state_ = State::kUnsynced;
+  zeros_seen_ = 0;
+  payload_needed_ = 0;
+  payload_.clear();
+  last_address_ = 0;
+  context_id_ = 0;
+  synced_ = false;
+  atoms_decoded_ = 0;
+  branches_decoded_ = 0;
+  bytes_consumed_ = 0;
+}
+
+std::optional<DecodedBranch> PftStreamDecoder::finish_branch(
+    const coresight::TraceByte& byte) {
+  // payload_ holds the full packet bytes (header included).
+  const std::size_t k = payload_.size();
+  std::uint64_t bits = 0;
+  int bit_count = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint8_t b = payload_[i];
+    if (i == 0) {
+      bits |= static_cast<std::uint64_t>((b >> 1) & 0x3F) << bit_count;
+      bit_count += 6;
+    } else if (i < 4) {
+      bits |= static_cast<std::uint64_t>(b & 0x7F) << bit_count;
+      bit_count += 7;
+    } else {
+      bits |= static_cast<std::uint64_t>(b & 0x0F) << bit_count;
+      bit_count += 4;
+    }
+  }
+  const std::uint64_t mask = ((1ULL << bit_count) - 1) << 1;  // bits [top:1]
+  const std::uint64_t address = (last_address_ & ~mask) | (bits << 1);
+  last_address_ = address & 0xFFFFFFFEULL;
+
+  bool is_syscall = false;
+  if (k == 5) {
+    const auto info = static_cast<coresight::BranchExceptionInfo>(
+        (payload_[4] >> 4) & 0x07);
+    is_syscall = info == coresight::BranchExceptionInfo::kSyscall;
+  }
+  ++branches_decoded_;
+  payload_.clear();
+  state_ = State::kIdle;
+  return DecodedBranch{address, is_syscall, byte.origin_ps, byte.event_seq,
+                       byte.injected};
+}
+
+std::optional<DecodedBranch> PftStreamDecoder::feed(
+    const coresight::TraceByte& byte) {
+  ++bytes_consumed_;
+  const std::uint8_t b = byte.value;
+
+  switch (state_) {
+    case State::kUnsynced:
+      if (b == 0x00) {
+        ++zeros_seen_;
+      } else if (b == coresight::kAsyncTerminator &&
+                 zeros_seen_ >= coresight::kAsyncZeroBytes) {
+        state_ = State::kIdle;
+        synced_ = true;
+        zeros_seen_ = 0;
+      } else {
+        zeros_seen_ = 0;
+      }
+      return std::nullopt;
+
+    case State::kIdle: {
+      switch (classify_header(b)) {
+        case PacketType::kBranchAddress:
+          payload_.clear();
+          payload_.push_back(b);
+          if (b & kContinuationBit) {
+            state_ = State::kBranchPayload;
+            return std::nullopt;
+          }
+          return finish_branch(byte);
+        case PacketType::kAtom: {
+          const int count = ((b >> 6) & 0x03) + 1;
+          atoms_decoded_ += static_cast<std::uint64_t>(count);
+          return std::nullopt;
+        }
+        case PacketType::kIsync:
+          payload_.clear();
+          payload_needed_ = 5;
+          state_ = State::kIsyncPayload;
+          return std::nullopt;
+        case PacketType::kContextId:
+          payload_needed_ = 1;
+          state_ = State::kContextPayload;
+          return std::nullopt;
+        case PacketType::kAsync:
+          zeros_seen_ = 1;
+          state_ = State::kAsyncRun;
+          return std::nullopt;
+      }
+      return std::nullopt;
+    }
+
+    case State::kAsyncRun:
+      if (b == 0x00) {
+        ++zeros_seen_;
+      } else if (b == coresight::kAsyncTerminator &&
+                 zeros_seen_ >= coresight::kAsyncZeroBytes) {
+        state_ = State::kIdle;
+        zeros_seen_ = 0;
+      } else {
+        // Malformed run: drop sync and hunt again.
+        state_ = State::kUnsynced;
+        synced_ = false;
+        zeros_seen_ = 0;
+      }
+      return std::nullopt;
+
+    case State::kIsyncPayload:
+      payload_.push_back(b);
+      if (--payload_needed_ == 0) {
+        std::uint64_t addr = 0;
+        for (int i = 0; i < 4; ++i) {
+          addr |= static_cast<std::uint64_t>(payload_[static_cast<std::size_t>(i)])
+                  << (8 * i);
+        }
+        last_address_ = addr & 0xFFFFFFFEULL;
+        payload_.clear();
+        state_ = State::kIdle;
+      }
+      return std::nullopt;
+
+    case State::kContextPayload:
+      context_id_ = b;
+      state_ = State::kIdle;
+      return std::nullopt;
+
+    case State::kBranchPayload:
+      payload_.push_back(b);
+      if ((b & kContinuationBit) == 0 || payload_.size() == 5) {
+        return finish_branch(byte);
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtad::igm

@@ -1,0 +1,68 @@
+// Byte-sequential PFT stream decoder — the logic inside one chain of TA
+// units. Mirrors coresight::PftEncoder (see pft_packet.hpp for the grammar).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rtad/coresight/pft_packet.hpp"
+#include "rtad/coresight/ptm.hpp"
+#include "rtad/sim/time.hpp"
+
+namespace rtad::igm {
+
+/// A branch target address recovered from the trace stream, with the
+/// simulation sidebands of the byte that completed its packet.
+struct DecodedBranch {
+  std::uint64_t address = 0;
+  bool is_syscall = false;
+  sim::Picoseconds origin_ps = 0;
+  std::uint64_t event_seq = 0;
+  bool injected = false;
+};
+
+/// Packet-level state machine; consumes one byte per call. Starts
+/// unsynchronized and discards bytes until the first A-sync/I-sync pair.
+class PftStreamDecoder {
+ public:
+  /// Feed one byte; returns a decoded branch when this byte completes a
+  /// branch-address packet (atoms, syncs and context packets return nullopt).
+  std::optional<DecodedBranch> feed(const coresight::TraceByte& byte);
+
+  void reset();
+
+  bool synced() const noexcept { return synced_; }
+  std::uint64_t last_address() const noexcept { return last_address_; }
+  std::uint8_t context_id() const noexcept { return context_id_; }
+  std::uint64_t atoms_decoded() const noexcept { return atoms_decoded_; }
+  std::uint64_t branches_decoded() const noexcept { return branches_decoded_; }
+  std::uint64_t bytes_consumed() const noexcept { return bytes_consumed_; }
+
+ private:
+  enum class State {
+    kUnsynced,       ///< hunting for the A-sync run
+    kIdle,           ///< expecting a packet header
+    kAsyncRun,       ///< inside a run of 0x00 bytes
+    kIsyncPayload,   ///< collecting 5 I-sync payload bytes
+    kContextPayload, ///< collecting 1 CONTEXTID byte
+    kBranchPayload,  ///< collecting continuation bytes of a branch packet
+  };
+
+  std::optional<DecodedBranch> finish_branch(const coresight::TraceByte& byte);
+
+  State state_ = State::kUnsynced;
+  int zeros_seen_ = 0;
+  int payload_needed_ = 0;
+  std::vector<std::uint8_t> payload_;
+
+  std::uint64_t last_address_ = 0;
+  std::uint8_t context_id_ = 0;
+  bool synced_ = false;
+
+  std::uint64_t atoms_decoded_ = 0;
+  std::uint64_t branches_decoded_ = 0;
+  std::uint64_t bytes_consumed_ = 0;
+};
+
+}  // namespace rtad::igm

@@ -1,0 +1,52 @@
+#include "rtad/igm/trace_analyzer.hpp"
+
+#include <stdexcept>
+
+namespace rtad::igm {
+
+TraceAnalyzer::TraceAnalyzer(sim::Fifo<coresight::TpiuWord>& port,
+                             std::uint32_t width, std::size_t out_capacity)
+    : sim::Component("trace_analyzer"),
+      port_(port),
+      out_(out_capacity),
+      width_(width) {
+  if (width == 0 || width > 4) {
+    throw std::invalid_argument("TA width must be in [1,4]");
+  }
+}
+
+void TraceAnalyzer::reset() {
+  decoder_.reset();
+  out_.clear();
+  has_pending_ = false;
+  pending_pos_ = 0;
+  stall_cycles_ = 0;
+}
+
+void TraceAnalyzer::tick() {
+  std::uint32_t budget = width_;
+  while (budget > 0) {
+    if (!has_pending_) {
+      if (port_.empty()) break;
+      pending_ = *port_.pop();
+      pending_pos_ = 0;
+      has_pending_ = true;
+    }
+    bool stalled = false;
+    while (budget > 0 && pending_pos_ < pending_.count) {
+      if (out_.full()) {  // backpressure from P2S
+        ++stall_cycles_;
+        stalled = true;
+        break;
+      }
+      const auto& tb = pending_.bytes[pending_pos_];
+      if (auto decoded = decoder_.feed(tb)) out_.push(*decoded);
+      ++pending_pos_;
+      --budget;
+    }
+    if (stalled) break;
+    if (pending_pos_ >= pending_.count) has_pending_ = false;
+  }
+}
+
+}  // namespace rtad::igm

@@ -1,0 +1,50 @@
+// Trace Analyzer (TA) — the main IGM submodule (§III-A, Fig. 2).
+//
+// Receives the TPIU trace stream through a 32-bit port and decodes it into
+// branch target addresses. Four TA units each own one byte lane, but the
+// packet state machine is inherently serial, so the four units form a
+// combinational ripple chain within a cycle: up to `width` bytes decoded per
+// 125 MHz cycle, producing up to `width` addresses in the worst case — which
+// is why the P2S converter follows (§III-A).
+#pragma once
+
+#include <cstdint>
+
+#include "rtad/coresight/tpiu.hpp"
+#include "rtad/igm/pft_decoder.hpp"
+#include "rtad/sim/component.hpp"
+#include "rtad/sim/fifo.hpp"
+
+namespace rtad::igm {
+
+class TraceAnalyzer final : public sim::Component {
+ public:
+  /// `width` = number of TA units (bytes decoded per cycle), 1..4.
+  TraceAnalyzer(sim::Fifo<coresight::TpiuWord>& port, std::uint32_t width = 4,
+                std::size_t out_capacity = 16);
+
+  sim::Fifo<DecodedBranch>& out() noexcept { return out_; }
+
+  void tick() override;
+  void reset() override;
+
+  std::uint32_t width() const noexcept { return width_; }
+  const PftStreamDecoder& decoder() const noexcept { return decoder_; }
+  std::uint64_t stall_cycles() const noexcept { return stall_cycles_; }
+
+ private:
+  sim::Fifo<coresight::TpiuWord>& port_;
+  PftStreamDecoder decoder_;
+  sim::Fifo<DecodedBranch> out_;
+  std::uint32_t width_;
+
+  // Residual bytes of a word that could not be fully consumed this cycle
+  // (width < 4, or output backpressure).
+  coresight::TpiuWord pending_{};
+  std::uint8_t pending_pos_ = 0;
+  bool has_pending_ = false;
+
+  std::uint64_t stall_cycles_ = 0;
+};
+
+}  // namespace rtad::igm

@@ -1,0 +1,16 @@
+#include "rtad/mcm/control_fsm.hpp"
+
+namespace rtad::mcm {
+
+const char* to_string(McmState state) noexcept {
+  switch (state) {
+    case McmState::kWaitInput: return "WAIT_INPUT";
+    case McmState::kReadInput: return "READ_INPUT";
+    case McmState::kWriteInput: return "WRITE_INPUT";
+    case McmState::kWaitDone: return "WAIT_DONE";
+    case McmState::kReadResult: return "READ_RESULT";
+  }
+  return "?";
+}
+
+}  // namespace rtad::mcm

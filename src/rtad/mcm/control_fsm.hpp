@@ -1,0 +1,18 @@
+// MCM control FSM states (§III-B, Fig. 3).
+#pragma once
+
+#include <cstdint>
+
+namespace rtad::mcm {
+
+enum class McmState : std::uint8_t {
+  kWaitInput,   ///< waiting for an IGM vector in the internal FIFO
+  kReadInput,   ///< TX engine reads the vector out of the FIFO
+  kWriteInput,  ///< TX engine drives the vector + control regs into ML-MIAOW
+  kWaitDone,    ///< ML-MIAOW computing (driver sequences the kernel steps)
+  kReadResult,  ///< RX engine reads the inference result
+};
+
+const char* to_string(McmState state) noexcept;
+
+}  // namespace rtad::mcm

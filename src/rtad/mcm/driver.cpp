@@ -1,0 +1,20 @@
+#include "rtad/mcm/driver.hpp"
+
+namespace rtad::mcm {
+
+std::uint32_t MlMiaowDriver::advance() {
+  if (image_ == nullptr || step_ >= image_->steps.size()) return 0;
+  if (!gpu_.idle()) return 0;
+  const auto& step = image_->steps[step_];
+  gpgpu::LaunchConfig launch;
+  launch.program = &step.program;
+  launch.workgroups = step.workgroups;
+  launch.waves_per_group = step.waves;
+  launch.kernarg_addr = step.kernarg_addr;
+  gpu_.launch(launch);
+  ++launches_;
+  ++step_;
+  return kRegWritesPerLaunch * converter_.reg_write_cycles();
+}
+
+}  // namespace rtad::mcm

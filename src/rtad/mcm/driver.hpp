@@ -1,0 +1,57 @@
+// ML-MIAOW driver: sequences the per-inference kernel launches.
+//
+// "The control FSM contains configuration registers and controls the
+// operation of the ML-MIAOW driver." Each kernel step costs a handful of
+// control-register writes (start addresses of register files and local
+// memory, grid shape, entry point) through the protocol converter, then a
+// start pulse; the driver then watches the done line.
+#pragma once
+
+#include <cstdint>
+
+#include "rtad/gpgpu/gpu.hpp"
+#include "rtad/ml/kernel_compiler.hpp"
+#include "rtad/mcm/protocol_converter.hpp"
+
+namespace rtad::mcm {
+
+class MlMiaowDriver {
+ public:
+  MlMiaowDriver(gpgpu::Gpu& gpu, const ProtocolConverter& converter)
+      : gpu_(gpu), converter_(converter) {}
+
+  void set_model(const ml::ModelImage* image) noexcept {
+    image_ = image;
+    step_ = 0;
+  }
+  const ml::ModelImage* model() const noexcept { return image_; }
+
+  /// Begin a new inference (step sequencing restarts).
+  void begin_inference() noexcept { step_ = 0; }
+
+  /// True when every step of the current inference has completed.
+  bool inference_done() const noexcept {
+    return image_ == nullptr ||
+           (step_ >= image_->steps.size() && gpu_.idle());
+  }
+
+  /// Advance the sequence: if the GPU is idle and steps remain, configure
+  /// and launch the next kernel. Returns the number of 125 MHz fabric
+  /// cycles the control-register setup consumed (0 if nothing was done).
+  std::uint32_t advance();
+
+  std::uint32_t launches_issued() const noexcept { return launches_; }
+
+  /// Control-register writes per launch: 4 CU setup regs (register-file and
+  /// LDS base addresses), grid shape, kernarg pointer, entry PC, start.
+  static constexpr std::uint32_t kRegWritesPerLaunch = 8;
+
+ private:
+  gpgpu::Gpu& gpu_;
+  const ProtocolConverter& converter_;
+  const ml::ModelImage* image_ = nullptr;
+  std::size_t step_ = 0;
+  std::uint32_t launches_ = 0;
+};
+
+}  // namespace rtad::mcm

@@ -1,0 +1,104 @@
+#include "rtad/mcm/mcm.hpp"
+
+namespace rtad::mcm {
+
+Mcm::Mcm(McmConfig config, igm::Igm& igm, gpgpu::Gpu& gpu)
+    : sim::Component("mcm"),
+      config_(config),
+      igm_(igm),
+      gpu_(gpu),
+      converter_(config.converter),
+      driver_(gpu, converter_),
+      input_fifo_(config.fifo_depth) {}
+
+void Mcm::load_model(const ml::ModelImage* image) {
+  if (image != nullptr) ml::load_image(gpu_, *image);
+  driver_.set_model(image);
+}
+
+void Mcm::reset() {
+  input_fifo_.clear();
+  state_ = McmState::kWaitInput;
+  stall_cycles_ = 0;
+  cycles_ = 0;
+  completed_ = 0;
+  interrupts_ = 0;
+  last_tx_cycles_ = 0;
+}
+
+void Mcm::write_payload_to_gpu(const igm::InputVector& vec) {
+  const auto* image = driver_.model();
+  gpu_.memory().write_block(image->input_addr, vec.payload.data(),
+                            vec.payload.size());
+}
+
+void Mcm::tick() {
+  ++cycles_;
+
+  // Always drain the IGM output into the internal FIFO (1 vector/cycle);
+  // when the FIFO is full the vector is dropped — this is the §IV-C
+  // overflow behaviour ("the buffer would overflow and lose newly sent
+  // data").
+  if (!igm_.out().empty()) {
+    const igm::InputVector vec = *igm_.out().pop();
+    input_fifo_.try_push(vec);
+  }
+
+  if (stall_cycles_ > 0) {
+    --stall_cycles_;
+    return;
+  }
+
+  switch (state_) {
+    case McmState::kWaitInput:
+      if (driver_.model() == nullptr || input_fifo_.empty()) break;
+      state_ = McmState::kReadInput;
+      break;
+
+    case McmState::kReadInput:
+      current_ = *input_fifo_.pop();
+      state_ = McmState::kWriteInput;
+      break;
+
+    case McmState::kWriteInput: {
+      write_payload_to_gpu(current_);
+      last_tx_cycles_ = converter_.transfer_cycles(
+          static_cast<std::uint32_t>(current_.payload.size()));
+      driver_.begin_inference();
+      stall_cycles_ = last_tx_cycles_;
+      state_ = McmState::kWaitDone;
+      break;
+    }
+
+    case McmState::kWaitDone: {
+      const std::uint32_t setup = driver_.advance();
+      if (setup > 0) {
+        stall_cycles_ = setup;
+        break;
+      }
+      if (driver_.inference_done()) state_ = McmState::kReadResult;
+      break;
+    }
+
+    case McmState::kReadResult: {
+      const auto* image = driver_.model();
+      InferenceRecord rec;
+      rec.anomaly = gpu_.memory().read32(image->result_addr) != 0;
+      rec.score = gpu_.memory().read_f32(image->result_addr + 4);
+      rec.injected = current_.injected;
+      rec.event_retired_ps = current_.origin_ps;
+      rec.completed_ps = local_time_ps();
+      stall_cycles_ = converter_.transfer_cycles(2);  // RX engine: 2 words
+      ++completed_;
+      if (inference_observer_) inference_observer_(rec);
+      if (rec.anomaly) {
+        ++interrupts_;
+        if (interrupt_handler_) interrupt_handler_(rec);
+      }
+      state_ = McmState::kWaitInput;
+      break;
+    }
+  }
+}
+
+}  // namespace rtad::mcm

@@ -1,0 +1,105 @@
+// ML Computing Module (§III-B, Fig. 3).
+//
+// Pulls input vectors from the IGM into the internal FIFO, drives them into
+// ML-MIAOW through the TX engine + protocol converter, sequences the
+// inference kernels via the driver, reads results back with the RX engine
+// and fires the host interrupt on anomaly. Ticked at 125 MHz.
+//
+// The internal FIFO is where the paper's §IV-C overflow phenomenon lives:
+// when the engine cannot keep up with the monitored-branch rate, newly
+// arriving vectors are dropped and counted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "rtad/gpgpu/gpu.hpp"
+#include "rtad/igm/igm.hpp"
+#include "rtad/mcm/control_fsm.hpp"
+#include "rtad/mcm/driver.hpp"
+#include "rtad/mcm/protocol_converter.hpp"
+#include "rtad/sim/component.hpp"
+#include "rtad/sim/fifo.hpp"
+#include "rtad/sim/stats.hpp"
+
+namespace rtad::mcm {
+
+struct McmConfig {
+  std::size_t fifo_depth = 16;           ///< internal input-vector FIFO
+  sim::Picoseconds clock_period_ps = 8'000;  ///< 125 MHz
+  ProtocolConverterTiming converter{};
+};
+
+/// Completed-inference record (one per processed input vector).
+struct InferenceRecord {
+  bool anomaly = false;
+  float score = 0.0f;
+  bool injected = false;                ///< input was attack-tainted
+  sim::Picoseconds event_retired_ps = 0;
+  sim::Picoseconds completed_ps = 0;
+  sim::Picoseconds latency_ps() const noexcept {
+    return completed_ps - event_retired_ps;
+  }
+};
+
+class Mcm final : public sim::Component {
+ public:
+  Mcm(McmConfig config, igm::Igm& igm, gpgpu::Gpu& gpu);
+
+  /// Load a model (host driver writes the image into ML-MIAOW memory).
+  void load_model(const ml::ModelImage* image);
+
+  /// Interrupt line toward the host CPU (fired on anomaly detection).
+  void set_interrupt_handler(std::function<void(const InferenceRecord&)> fn) {
+    interrupt_handler_ = std::move(fn);
+  }
+  /// Observer invoked for every completed inference (experiments).
+  void set_inference_observer(std::function<void(const InferenceRecord&)> fn) {
+    inference_observer_ = std::move(fn);
+  }
+
+  void tick() override;
+  void reset() override;
+
+  McmState state() const noexcept { return state_; }
+  std::uint64_t inferences_completed() const noexcept { return completed_; }
+  std::uint64_t interrupts_fired() const noexcept { return interrupts_; }
+  std::uint64_t fifo_drops() const noexcept { return input_fifo_.overflows(); }
+  std::size_t fifo_occupancy() const noexcept { return input_fifo_.size(); }
+  std::size_t fifo_high_watermark() const noexcept {
+    return input_fifo_.high_watermark();
+  }
+
+  /// Fabric cycles the TX engine spent writing the last input vector
+  /// (step-3 probe for the Fig. 7 latency breakdown).
+  std::uint32_t last_tx_cycles() const noexcept { return last_tx_cycles_; }
+
+  sim::Picoseconds local_time_ps() const noexcept {
+    return cycles_ * config_.clock_period_ps;
+  }
+
+ private:
+  void write_payload_to_gpu(const igm::InputVector& vec);
+
+  McmConfig config_;
+  igm::Igm& igm_;
+  gpgpu::Gpu& gpu_;
+  ProtocolConverter converter_;
+  MlMiaowDriver driver_;
+
+  sim::Fifo<igm::InputVector> input_fifo_;
+  McmState state_ = McmState::kWaitInput;
+  std::uint32_t stall_cycles_ = 0;  ///< busy cycles left in current phase
+  igm::InputVector current_;
+  std::uint32_t last_tx_cycles_ = 0;
+
+  std::function<void(const InferenceRecord&)> interrupt_handler_;
+  std::function<void(const InferenceRecord&)> inference_observer_;
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t interrupts_ = 0;
+};
+
+}  // namespace rtad::mcm

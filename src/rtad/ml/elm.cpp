@@ -1,0 +1,72 @@
+#include "rtad/ml/elm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtad::ml {
+
+namespace {
+constexpr float kLog2E = 1.4426950408889634f;
+
+/// Device-faithful sigmoid: 1 / (1 + exp2(-x * log2 e)).
+float device_sigmoid(float x) {
+  return 1.0f / (1.0f + std::exp2(-x * kLog2E));
+}
+}  // namespace
+
+Elm::Elm(ElmConfig config) : config_(config) {
+  if (config.input_dim == 0 || config.hidden == 0) {
+    throw std::invalid_argument("ELM dims must be positive");
+  }
+  sim::Xoshiro256 rng(config.seed);
+  // Scale the random projection so pre-activations stay in sigmoid's
+  // responsive range for unit-normalized histogram inputs.
+  const float stddev =
+      config.input_stddev * 2.0f /
+      std::sqrt(static_cast<float>(config.input_dim));
+  w_ = Matrix::randn(config.hidden, config.input_dim, stddev, rng);
+  b_.assign(config.hidden, 0.0f);
+  for (auto& v : b_) v = 0.5f * static_cast<float>(rng.normal());
+  beta_ = Matrix(config.input_dim, config.hidden);
+}
+
+Vector Elm::hidden(const Vector& x) const {
+  if (x.size() != config_.input_dim) throw std::invalid_argument("ELM input dim");
+  Vector h = matvec(w_, x);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    h[i] = device_sigmoid(h[i] + b_[i]);
+  }
+  return h;
+}
+
+void Elm::train(const std::vector<Vector>& windows) {
+  if (windows.empty()) throw std::invalid_argument("no training windows");
+  const std::size_t n = windows.size();
+  Matrix h_mat(n, config_.hidden);
+  Matrix x_mat(n, config_.input_dim);
+  for (std::size_t r = 0; r < n; ++r) {
+    const Vector h = hidden(windows[r]);
+    for (std::size_t c = 0; c < config_.hidden; ++c) h_mat(r, c) = h[c];
+    for (std::size_t c = 0; c < config_.input_dim; ++c) {
+      x_mat(r, c) = windows[r][c];
+    }
+  }
+  // beta^T = (H^T H + lambda I)^-1 H^T X   =>   beta = X^T H (...)^-T, but
+  // since the system matrix is symmetric we solve directly for beta^T.
+  Matrix hth = matmul_at_b(h_mat, h_mat);            // hidden x hidden
+  Matrix htx = matmul_at_b(h_mat, x_mat);            // hidden x input
+  Matrix beta_t = ridge_solve(std::move(hth), config_.ridge_lambda, htx);
+  beta_ = beta_t.transposed();                       // input x hidden
+  trained_ = true;
+}
+
+Vector Elm::reconstruct(const Vector& x) const {
+  return matvec(beta_, hidden(x));
+}
+
+float Elm::score(const Vector& x) const {
+  if (!trained_) throw std::logic_error("ELM not trained");
+  return squared_distance(x, reconstruct(x));
+}
+
+}  // namespace rtad::ml

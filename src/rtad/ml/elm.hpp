@@ -1,0 +1,56 @@
+// Extreme Learning Machine anomaly model (the paper's first model, after
+// Creech & Hu's syscall-pattern detector [2]).
+//
+// One-class autoencoder ELM: a fixed random hidden layer h = sigmoid(Wx+b)
+// followed by a ridge-regression-trained linear readout that reconstructs
+// the input; the anomaly score is the reconstruction error ||x - B h||^2.
+// Training "learns" only the readout (a single linear solve), which is what
+// makes ELM "more lightweight than a traditional MLP while providing
+// similar accuracy" (§IV-C).
+//
+// Device note: the deployed kernels compute sigmoid as 1/(1 + 2^(-x*log2 e))
+// using the SI v_exp_f32 (= 2^x) instruction; the host uses the same
+// formulation so host and engine agree to float rounding.
+#pragma once
+
+#include <cstdint>
+
+#include "rtad/ml/linalg.hpp"
+
+namespace rtad::ml {
+
+struct ElmConfig {
+  std::uint32_t input_dim = 32;   ///< histogram vocabulary
+  std::uint32_t hidden = 320;     ///< 5 x 64: one wavefront-row per CU
+  float ridge_lambda = 1e-2f;
+  float input_stddev = 1.0f;      ///< random layer scale
+  std::uint64_t seed = 7;
+};
+
+class Elm {
+ public:
+  explicit Elm(ElmConfig config);
+
+  /// Fit the readout on normal windows (rows of X).
+  void train(const std::vector<Vector>& windows);
+
+  Vector hidden(const Vector& x) const;
+  Vector reconstruct(const Vector& x) const;
+  /// Anomaly score: squared reconstruction error.
+  float score(const Vector& x) const;
+
+  const ElmConfig& config() const noexcept { return config_; }
+  const Matrix& input_weights() const noexcept { return w_; }
+  const Vector& input_bias() const noexcept { return b_; }
+  const Matrix& readout() const noexcept { return beta_; }
+  bool trained() const noexcept { return trained_; }
+
+ private:
+  ElmConfig config_;
+  Matrix w_;     ///< hidden x input (random, fixed)
+  Vector b_;     ///< hidden
+  Matrix beta_;  ///< input x hidden (trained readout)
+  bool trained_ = false;
+};
+
+}  // namespace rtad::ml

@@ -1,0 +1,264 @@
+#include "rtad/ml/kernel_compiler.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "rtad/ml/kernels.hpp"
+
+namespace rtad::ml {
+
+namespace {
+
+std::uint32_t f2w(float f) {
+  std::uint32_t w;
+  std::memcpy(&w, &f, 4);
+  return w;
+}
+
+std::vector<std::uint32_t> pack(const Matrix& m) {
+  std::vector<std::uint32_t> words;
+  words.reserve(m.rows() * m.cols());
+  for (float f : m.storage()) words.push_back(f2w(f));
+  return words;
+}
+
+std::vector<std::uint32_t> pack(const Vector& v) {
+  std::vector<std::uint32_t> words;
+  words.reserve(v.size());
+  for (float f : v) words.push_back(f2w(f));
+  return words;
+}
+
+std::uint32_t kernarg_addr(std::size_t step) {
+  return DeviceLayout::kKernargs + static_cast<std::uint32_t>(step) * 0x80;
+}
+
+}  // namespace
+
+ModelImage compile_autoencoder(const std::string& name,
+                               const Matrix& input_weights,
+                               const Vector& input_bias, const Matrix& readout,
+                               const Threshold& threshold,
+                               std::uint32_t window) {
+  const auto hidden = static_cast<std::uint32_t>(input_weights.rows());
+  const auto d = static_cast<std::uint32_t>(input_weights.cols());
+  if (d > 32 || d == 0 || (d & (d - 1)) != 0) {
+    throw std::invalid_argument("autoencoder d must be a power of two <= 32");
+  }
+  if (hidden == 0 || hidden % 64 != 0) {
+    throw std::invalid_argument("autoencoder hidden must be a multiple of 64");
+  }
+  if (input_bias.size() != hidden || readout.rows() != d ||
+      readout.cols() != hidden) {
+    throw std::invalid_argument("autoencoder weight shapes inconsistent");
+  }
+  const std::uint32_t slices = hidden / 64;
+  std::uint32_t log2d = 0;
+  while ((1u << log2d) < d) ++log2d;
+  const std::uint32_t groups = 64 / d;  ///< lane groups per workgroup
+
+  // Layout.
+  const std::uint32_t h_base = DeviceLayout::kScratch;           // hidden
+  const std::uint32_t partial_base = h_base + hidden * 4;        // slices*64
+  const std::uint32_t w_base = DeviceLayout::kWeights;           // hidden x d
+  const std::uint32_t bias_base = w_base + hidden * d * 4;
+  const std::uint32_t betat_base = bias_base + hidden * 4;       // hidden x d
+
+  const float inv_window = 1.0f / static_cast<float>(window);
+
+  ModelImage image;
+  image.name = name;
+  image.input_words = d;
+
+  image.init_blocks.emplace_back(w_base, pack(input_weights));
+  image.init_blocks.emplace_back(bias_base, pack(input_bias));
+  // betaT: row-major hidden x d (i.e. readout transposed).
+  image.init_blocks.emplace_back(betat_base, pack(readout.transposed()));
+
+  // Step 1: hidden.
+  {
+    KernelStep s;
+    s.program = kernels::elm_hidden();
+    s.workgroups = slices;
+    s.kernarg_addr = kernarg_addr(0);
+    image.init_blocks.emplace_back(
+        s.kernarg_addr,
+        std::vector<std::uint32_t>{w_base, image.input_addr, h_base, d,
+                                   bias_base, f2w(inv_window)});
+    image.steps.push_back(std::move(s));
+  }
+  // Step 2: lane-packed partial reconstruction.
+  {
+    KernelStep s;
+    s.program = kernels::elm_recon();
+    s.workgroups = slices;
+    s.kernarg_addr = kernarg_addr(1);
+    image.init_blocks.emplace_back(
+        s.kernarg_addr,
+        std::vector<std::uint32_t>{betat_base, h_base, partial_base, d,
+                                   log2d});
+    image.steps.push_back(std::move(s));
+  }
+  // Step 3: score + decision over slices*groups partial vectors.
+  {
+    KernelStep s;
+    s.program = kernels::elm_score();
+    s.workgroups = 1;
+    s.kernarg_addr = kernarg_addr(2);
+    image.init_blocks.emplace_back(
+        s.kernarg_addr,
+        std::vector<std::uint32_t>{partial_base, image.input_addr, d,
+                                   f2w(inv_window), f2w(threshold.value()),
+                                   image.result_addr, slices * groups});
+    image.steps.push_back(std::move(s));
+  }
+  return image;
+}
+
+ModelImage compile_elm(const Elm& elm, const Threshold& threshold,
+                       std::uint32_t window) {
+  if (!elm.trained()) throw std::logic_error("ELM not trained");
+  return compile_autoencoder("ELM", elm.input_weights(), elm.input_bias(),
+                             elm.readout(), threshold, window);
+}
+
+ModelImage compile_mlp(const Mlp& mlp, const Threshold& threshold,
+                       std::uint32_t window) {
+  if (!mlp.trained()) throw std::logic_error("MLP not trained");
+  return compile_autoencoder("MLP", mlp.input_weights(), mlp.input_bias(),
+                             mlp.readout(), threshold, window);
+}
+
+ModelImage compile_lstm(const Lstm& lstm, const Threshold& threshold,
+                        float initial_score) {
+  const auto& cfg = lstm.config();
+  if (!lstm.trained()) throw std::logic_error("LSTM not trained");
+  if (cfg.vocab != 64 || cfg.hidden != 64) {
+    throw std::invalid_argument("device LSTM requires vocab=64, hidden=64");
+  }
+  const std::uint32_t h = cfg.hidden;
+  const std::uint32_t v = cfg.vocab;
+
+  const std::uint32_t gates_base = DeviceLayout::kScratch;         // 4H floats
+  const std::uint32_t logits_base = gates_base + 4 * h * 4;        // V floats
+  const std::uint32_t wxt_base = DeviceLayout::kWeights;           // V x 4H
+  const std::uint32_t wh_base = wxt_base + v * 4 * h * 4;
+  const std::uint32_t b_base = wh_base + 4 * h * h * 4;
+  const std::uint32_t why_base = b_base + 4 * h * 4;
+  const std::uint32_t by_base = why_base + v * h * 4;
+  const std::uint32_t c_base = by_base + v * 4;
+  const std::uint32_t hstate_base = c_base + h * 4;
+
+  ModelImage image;
+  image.name = "LSTM";
+  image.input_words = 1;
+
+  image.init_blocks.emplace_back(wxt_base, pack(lstm.wx().transposed()));
+  image.init_blocks.emplace_back(wh_base, pack(lstm.wh()));
+  image.init_blocks.emplace_back(b_base, pack(lstm.bias()));
+  image.init_blocks.emplace_back(why_base, pack(lstm.why()));
+  image.init_blocks.emplace_back(by_base, pack(lstm.by()));
+  // Zero-initialized recurrent state + seeded EWMA.
+  image.init_blocks.emplace_back(c_base, std::vector<std::uint32_t>(h, 0));
+  image.init_blocks.emplace_back(hstate_base, std::vector<std::uint32_t>(h, 0));
+  image.init_blocks.emplace_back(
+      DeviceLayout::kEwma, std::vector<std::uint32_t>{f2w(initial_score)});
+
+  // Step 1: gates (4 workgroups: i, f, g, o).
+  {
+    KernelStep s;
+    s.program = kernels::lstm_gates();
+    s.workgroups = 4;
+    s.kernarg_addr = kernarg_addr(0);
+    image.init_blocks.emplace_back(
+        s.kernarg_addr,
+        std::vector<std::uint32_t>{wxt_base, wh_base, b_base, hstate_base,
+                                   gates_base, image.input_addr});
+    image.steps.push_back(std::move(s));
+  }
+  // Step 2: state update.
+  {
+    KernelStep s;
+    s.program = kernels::lstm_state();
+    s.workgroups = 1;
+    s.kernarg_addr = kernarg_addr(1);
+    image.init_blocks.emplace_back(
+        s.kernarg_addr,
+        std::vector<std::uint32_t>{gates_base, c_base, hstate_base});
+    image.steps.push_back(std::move(s));
+  }
+  // Step 3: logits.
+  {
+    KernelStep s;
+    s.program = kernels::lstm_logits();
+    s.workgroups = 1;
+    s.kernarg_addr = kernarg_addr(2);
+    image.init_blocks.emplace_back(
+        s.kernarg_addr,
+        std::vector<std::uint32_t>{why_base, by_base, hstate_base,
+                                   logits_base});
+    image.steps.push_back(std::move(s));
+  }
+  // Step 4: softmax NLL + EWMA + decision.
+  //
+  // Note on ordering: the score kernel consumes the *pre-update* hidden
+  // state's logits only if run before steps 1-2; running it after means the
+  // NLL reflects p(token | history including token). To match the host
+  // Lstm::step semantics (predict-then-consume), the logits of the previous
+  // state are computed at the END of the previous inference — i.e. steps
+  // run [gates, state, logits] to prepare the next prediction, and the
+  // score step runs FIRST against the stored logits. Hence the order below.
+  {
+    KernelStep s;
+    s.program = kernels::lstm_score();
+    s.workgroups = 1;
+    s.kernarg_addr = kernarg_addr(3);
+    image.init_blocks.emplace_back(
+        s.kernarg_addr,
+        std::vector<std::uint32_t>{logits_base, image.input_addr,
+                                   DeviceLayout::kEwma,
+                                   f2w(cfg.score_ewma), f2w(threshold.value()),
+                                   image.result_addr});
+    image.steps.push_back(std::move(s));
+  }
+  // Reorder: score first (uses last state's logits), then consume token.
+  std::rotate(image.steps.begin(), image.steps.end() - 1, image.steps.end());
+
+  // Initial logits (prediction from the zero state) so the very first
+  // inference scores against a defined distribution.
+  Lstm::State s0 = lstm.initial_state();
+  Vector logits0 = matvec(lstm.why(), s0.h);
+  for (std::size_t i = 0; i < logits0.size(); ++i) logits0[i] += lstm.by()[i];
+  image.init_blocks.emplace_back(logits_base, pack(logits0));
+  return image;
+}
+
+void load_image(gpgpu::Gpu& gpu, const ModelImage& image) {
+  for (const auto& [addr, words] : image.init_blocks) {
+    gpu.memory().write_block(addr, words.data(), words.size());
+  }
+}
+
+InferenceResult run_inference_offline(gpgpu::Gpu& gpu, const ModelImage& image,
+                                      const std::vector<std::uint32_t>& payload) {
+  if (payload.size() != image.input_words) {
+    throw std::invalid_argument("payload size mismatch");
+  }
+  gpu.memory().write_block(image.input_addr, payload.data(), payload.size());
+  for (const auto& step : image.steps) {
+    gpgpu::LaunchConfig launch;
+    launch.program = &step.program;
+    launch.workgroups = step.workgroups;
+    launch.waves_per_group = step.waves;
+    launch.kernarg_addr = step.kernarg_addr;
+    gpu.launch(launch);
+    gpu.run_to_completion();
+  }
+  InferenceResult r;
+  r.anomaly = gpu.memory().read32(image.result_addr) != 0;
+  r.score = gpu.memory().read_f32(image.result_addr + 4);
+  return r;
+}
+
+}  // namespace rtad::ml

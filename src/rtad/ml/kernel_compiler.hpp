@@ -1,0 +1,88 @@
+// Model deployment: lower a trained host model into a device image —
+// kernels, weight blobs, memory layout and the per-inference launch
+// sequence the MCM driver executes ("when the target application is loaded
+// by the OS kernel, the corresponding model is also loaded into MCM's
+// memory", §III-C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtad/gpgpu/gpu.hpp"
+#include "rtad/ml/elm.hpp"
+#include "rtad/ml/lstm.hpp"
+#include "rtad/ml/mlp.hpp"
+#include "rtad/ml/threshold.hpp"
+
+namespace rtad::ml {
+
+/// One kernel launch within an inference.
+struct KernelStep {
+  gpgpu::Program program;
+  std::uint32_t workgroups = 1;
+  std::uint32_t waves = 1;
+  std::uint32_t kernarg_addr = 0;
+};
+
+/// Fixed device-memory layout shared by both models.
+struct DeviceLayout {
+  static constexpr std::uint32_t kResult = 0x0000;  ///< flag @+0, score @+4
+  static constexpr std::uint32_t kInput = 0x0010;
+  static constexpr std::uint32_t kEwma = 0x0100;
+  static constexpr std::uint32_t kKernargs = 0x0200;  ///< 0x80 per step
+  static constexpr std::uint32_t kScratch = 0x0800;
+  static constexpr std::uint32_t kWeights = 0x4000;
+};
+
+struct ModelImage {
+  std::string name;
+  std::vector<KernelStep> steps;
+  /// (device address, words) blobs written at model-load time.
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> init_blocks;
+  std::uint32_t input_addr = DeviceLayout::kInput;
+  std::uint32_t input_words = 1;
+  std::uint32_t result_addr = DeviceLayout::kResult;
+};
+
+/// Compile any sigmoid-hidden / linear-readout autoencoder (the deployed
+/// form of both the ELM and the MLP — they differ only in how the weights
+/// were obtained). Requires input_dim a power of two <= 32 and hidden a
+/// multiple of 64.
+ModelImage compile_autoencoder(const std::string& name,
+                               const Matrix& input_weights,  // hidden x d
+                               const Vector& input_bias,     // hidden
+                               const Matrix& readout,        // d x hidden
+                               const Threshold& threshold,
+                               std::uint32_t window);
+
+/// Compile the ELM (requires input_dim <= 32 and hidden a multiple of 64).
+ModelImage compile_elm(const Elm& elm, const Threshold& threshold,
+                       std::uint32_t window);
+
+/// Compile the MLP baseline (same deployed kernels as the ELM).
+ModelImage compile_mlp(const Mlp& mlp, const Threshold& threshold,
+                       std::uint32_t window);
+
+/// Compile the LSTM (requires vocab == 64 and hidden == 64). `initial_score`
+/// seeds the on-device EWMA register (typically the mean normal NLL).
+ModelImage compile_lstm(const Lstm& lstm, const Threshold& threshold,
+                        float initial_score);
+
+/// Write a model image's init blocks into GPU memory.
+void load_image(gpgpu::Gpu& gpu, const ModelImage& image);
+
+/// Host-side replay of the full on-device inference for verification: runs
+/// each step's semantics against `gpu` memory and returns {flag, score}.
+struct InferenceResult {
+  bool anomaly = false;
+  float score = 0.0f;
+};
+
+/// Run one inference synchronously on a GPU (writes the input payload,
+/// launches every step, reads the result). Used by tests and offline
+/// calibration; the cycle-accurate path goes through the MCM instead.
+InferenceResult run_inference_offline(gpgpu::Gpu& gpu, const ModelImage& image,
+                                      const std::vector<std::uint32_t>& payload);
+
+}  // namespace rtad::ml

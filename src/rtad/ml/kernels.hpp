@@ -1,0 +1,64 @@
+// The inference-engine kernels that run on MIAOW / ML-MIAOW.
+//
+// Hand-written SI-subset assembly, deliberately restricted to the ISA
+// surface declared in gpgpu::opcode_used_by_ml() — this surface *is* the
+// trimming contract: ML-MIAOW retains exactly the units these kernels
+// exercise. Activations use the SI transcendental primitives (v_exp_f32 is
+// 2^x): sigmoid(x) = 1/(1 + 2^(-x*log2 e)), tanh(x) = 2*sigmoid(2x) - 1.
+//
+// Launch ABI (see ComputeUnit::start): s0 = kernarg address, s1 = workgroup
+// id, s2 = wave-in-group, s3 = waves/group, v0 = lane id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rtad/gpgpu/assembler.hpp"
+
+namespace rtad::ml::kernels {
+
+/// ELM stage 1 — hidden activations. One workgroup per 64-neuron slice;
+/// lane j of workgroup w computes h[w*64+j] = sigmoid(W x + b).
+/// kernarg: +0 W base (row-major hidden x d), +4 x base (raw u32 counts),
+/// +8 h base, +12 d, +16 bias base, +20 inv_window (f32).
+gpgpu::Program elm_hidden();
+
+/// ELM stage 2 — partial reconstruction, lane-packed: workgroup w covers
+/// hidden slice w (64 neurons) with 64/d lane groups, each computing d
+/// outputs over its d neurons; partials land at
+/// partial[(w*(64/d) + grp)*d + j]. Requires d a power of two <= 32.
+/// kernarg: +0 betaT base (row-major hidden x d), +4 h base,
+/// +8 partial base, +12 d, +16 log2(d).
+gpgpu::Program elm_recon();
+
+/// ELM stage 3 — score + decision. Single workgroup: sums the partial
+/// groups, computes the squared reconstruction error, LDS-tree-reduces it
+/// and writes {flag, score} to the result block. Requires d <= 32.
+/// kernarg: +0 partial base, +4 x base, +8 d, +12 inv_window (f32),
+/// +16 threshold (f32), +20 result base, +24 num_partial_groups.
+gpgpu::Program elm_score();
+
+/// LSTM stage 1 — gate pre-activations + activation. Four workgroups, one
+/// per gate (i, f, g, o); lane j of workgroup g computes activated gate
+/// value for hidden unit j. Requires hidden == 64.
+/// kernarg: +0 wxT base (row-major vocab x 4H), +4 wh base (row-major
+/// 4H x H), +8 bias base, +12 h base, +16 gates-out base, +20 token addr.
+gpgpu::Program lstm_gates();
+
+/// LSTM stage 2 — state update: c = f*c + i*g; h = o*tanh(c).
+/// kernarg: +0 gates base, +4 c base, +8 h base. Requires hidden == 64.
+gpgpu::Program lstm_state();
+
+/// LSTM stage 3 — logits = Why h + by. Lane r computes logits[r].
+/// Requires vocab == 64 and hidden == 64.
+/// kernarg: +0 why base (row-major V x H), +4 by base, +8 h base,
+/// +12 logits base.
+gpgpu::Program lstm_logits();
+
+/// LSTM stage 4 — softmax NLL of the observed token, EWMA update, decision.
+/// Requires vocab == 64.
+/// kernarg: +0 logits base, +4 token addr, +8 ewma addr, +12 alpha (f32),
+/// +16 threshold (f32), +20 result base.
+gpgpu::Program lstm_score();
+
+}  // namespace rtad::ml::kernels

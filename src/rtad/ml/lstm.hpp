@@ -1,0 +1,90 @@
+// LSTM next-branch model (the paper's second model, after Yi et al.'s
+// mimicry-resilient LSTM branch model [8]).
+//
+// Single-layer LSTM over the monitored-branch token stream with a softmax
+// readout predicting the next token; the anomaly score is an exponentially
+// weighted moving average of the per-token negative log-likelihood — "if
+// the model discerns the probability of the given branch sequence to be
+// unlikely, the inference engine recognizes it as an anomaly" (§III-C).
+// Trained host-side with truncated BPTT + Adam; inference uses the
+// device-faithful sigmoid/tanh formulations (2^x based) so the host
+// reference matches ML-MIAOW execution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtad/ml/linalg.hpp"
+
+namespace rtad::ml {
+
+struct LstmConfig {
+  std::uint32_t vocab = 64;
+  std::uint32_t hidden = 64;
+  std::uint32_t bptt = 32;       ///< truncation length
+  std::uint32_t epochs = 6;
+  float learning_rate = 1e-2f;
+  float adam_beta1 = 0.9f;
+  float adam_beta2 = 0.999f;
+  float adam_eps = 1e-8f;
+  float grad_clip = 5.0f;
+  float score_ewma = 0.3f;       ///< anomaly-score smoothing factor
+  std::uint64_t seed = 11;
+};
+
+/// Device-faithful activations (shared with the kernel compiler's host
+/// reference): sigmoid(x) = 1/(1+2^(-x*log2 e)), tanh via sigmoid.
+float device_sigmoid(float x) noexcept;
+float device_tanh(float x) noexcept;
+
+class Lstm {
+ public:
+  explicit Lstm(LstmConfig config);
+
+  /// Train on a normal token stream. Returns final mean training NLL.
+  float train(const std::vector<std::uint32_t>& tokens);
+
+  /// Streaming inference state (persists across inferences, like the h/c
+  /// vectors resident in ML-MIAOW memory).
+  struct State {
+    Vector h;
+    Vector c;
+    float ewma_nll = 0.0f;
+    bool warm = false;
+  };
+  State initial_state() const;
+
+  /// Observe `token`: returns this step's NLL (surprise of seeing the token
+  /// given the state), then consumes it into the state and updates the
+  /// EWMA anomaly score.
+  float step(State& state, std::uint32_t token) const;
+
+  /// Per-step probabilities before consuming the next token.
+  Vector predict(const State& state) const;
+
+  /// Mean NLL over a token stream from a fresh state (validation metric).
+  float evaluate(const std::vector<std::uint32_t>& tokens) const;
+
+  const LstmConfig& config() const noexcept { return config_; }
+  bool trained() const noexcept { return trained_; }
+
+  // Weight access for the kernel compiler (gate order: i, f, g, o).
+  const Matrix& wx() const noexcept { return wx_; }    ///< 4H x V
+  const Matrix& wh() const noexcept { return wh_; }    ///< 4H x H
+  const Vector& bias() const noexcept { return b_; }   ///< 4H
+  const Matrix& why() const noexcept { return why_; }  ///< V x H
+  const Vector& by() const noexcept { return by_; }    ///< V
+
+ private:
+  struct StepCache;
+  void forward_cell(std::uint32_t token, const Vector& h_prev,
+                    const Vector& c_prev, Vector& gates, Vector& c,
+                    Vector& h) const;
+
+  LstmConfig config_;
+  Matrix wx_, wh_, why_;
+  Vector b_, by_;
+  bool trained_ = false;
+};
+
+}  // namespace rtad::ml

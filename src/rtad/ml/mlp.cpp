@@ -1,0 +1,115 @@
+#include "rtad/ml/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rtad/ml/lstm.hpp"  // device_sigmoid
+
+namespace rtad::ml {
+
+Mlp::Mlp(MlpConfig config) : config_(config) {
+  if (config.input_dim == 0 || config.hidden == 0) {
+    throw std::invalid_argument("MLP dims must be positive");
+  }
+  sim::Xoshiro256 rng(config.seed);
+  const float s1 = 2.0f / std::sqrt(static_cast<float>(config.input_dim));
+  const float s2 = 1.0f / std::sqrt(static_cast<float>(config.hidden));
+  w1_ = Matrix::randn(config.hidden, config.input_dim, s1, rng);
+  w2_ = Matrix::randn(config.input_dim, config.hidden, s2, rng);
+  b1_.assign(config.hidden, 0.0f);
+}
+
+std::size_t Mlp::parameter_count() const noexcept {
+  return w1_.rows() * w1_.cols() + b1_.size() + w2_.rows() * w2_.cols();
+}
+
+Vector Mlp::hidden(const Vector& x) const {
+  if (x.size() != config_.input_dim) throw std::invalid_argument("MLP input dim");
+  Vector h = matvec(w1_, x);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    h[i] = device_sigmoid(h[i] + b1_[i]);
+  }
+  return h;
+}
+
+Vector Mlp::reconstruct(const Vector& x) const { return matvec(w2_, hidden(x)); }
+
+float Mlp::score(const Vector& x) const {
+  if (!trained_) throw std::logic_error("MLP not trained");
+  return squared_distance(x, reconstruct(x));
+}
+
+float Mlp::train(const std::vector<Vector>& windows) {
+  if (windows.empty()) throw std::invalid_argument("no training windows");
+  const auto d = config_.input_dim;
+  const auto hd = config_.hidden;
+
+  const std::size_t n_w1 = static_cast<std::size_t>(hd) * d;
+  const std::size_t n_w2 = static_cast<std::size_t>(d) * hd;
+  const std::size_t total = n_w1 + hd + n_w2;
+  std::vector<float> m(total, 0.0f), v(total, 0.0f);
+  std::uint64_t t = 0;
+  float last_epoch_mse = 0.0f;
+
+  for (std::uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    double epoch_mse = 0.0;
+    for (const auto& x : windows) {
+      // Forward.
+      Vector pre = matvec(w1_, x);
+      Vector h(hd);
+      for (std::uint32_t i = 0; i < hd; ++i) {
+        h[i] = device_sigmoid(pre[i] + b1_[i]);
+      }
+      Vector y = matvec(w2_, h);
+      Vector dy(d);
+      double mse = 0.0;
+      for (std::uint32_t j = 0; j < d; ++j) {
+        const float e = y[j] - x[j];
+        dy[j] = 2.0f * e / static_cast<float>(d);
+        mse += static_cast<double>(e) * e;
+      }
+      epoch_mse += mse / d;
+
+      // Backward.
+      Vector dh(hd, 0.0f);
+      for (std::uint32_t j = 0; j < d; ++j) {
+        for (std::uint32_t i = 0; i < hd; ++i) dh[i] += w2_(j, i) * dy[j];
+      }
+      Vector dpre(hd);
+      for (std::uint32_t i = 0; i < hd; ++i) {
+        dpre[i] = dh[i] * h[i] * (1.0f - h[i]);
+      }
+
+      // Adam step (per-sample SGD keeps the code simple; the dataset is
+      // small and this trains in well under a second).
+      ++t;
+      const float b1c = 1.0f - std::pow(config_.adam_beta1,
+                                        static_cast<float>(t));
+      const float b2c = 1.0f - std::pow(config_.adam_beta2,
+                                        static_cast<float>(t));
+      auto adam = [&](float* w, std::size_t off, float g) {
+        m[off] = config_.adam_beta1 * m[off] + (1.0f - config_.adam_beta1) * g;
+        v[off] = config_.adam_beta2 * v[off] + (1.0f - config_.adam_beta2) * g * g;
+        *w -= config_.learning_rate * (m[off] / b1c) /
+              (std::sqrt(v[off] / b2c) + config_.adam_eps);
+      };
+      std::size_t off = 0;
+      for (std::uint32_t i = 0; i < hd; ++i) {
+        for (std::uint32_t j = 0; j < d; ++j, ++off) {
+          adam(&w1_(i, j), off, dpre[i] * x[j]);
+        }
+      }
+      for (std::uint32_t i = 0; i < hd; ++i, ++off) adam(&b1_[i], off, dpre[i]);
+      for (std::uint32_t j = 0; j < d; ++j) {
+        for (std::uint32_t i = 0; i < hd; ++i, ++off) {
+          adam(&w2_(j, i), off, dy[j] * h[i]);
+        }
+      }
+    }
+    last_epoch_mse = static_cast<float>(epoch_mse / windows.size());
+  }
+  trained_ = true;
+  return last_epoch_mse;
+}
+
+}  // namespace rtad::ml

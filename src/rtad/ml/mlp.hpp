@@ -1,0 +1,60 @@
+// Multi-layer perceptron autoencoder — the "traditional MLP" the paper
+// positions the ELM against ("the ELM model is more lightweight than a
+// traditional MLP while providing similar accuracy", §IV-C).
+//
+// Identical architecture to the ELM (d -> hidden sigmoid -> d linear), but
+// *both* layers are trained by backpropagation (Adam, MSE) instead of the
+// ELM's fixed random hidden layer + one-shot ridge readout. The comparison
+// bench quantifies the trade: training cost orders of magnitude higher,
+// deployed inference identical (same device kernels), accuracy similar.
+#pragma once
+
+#include <cstdint>
+
+#include "rtad/ml/linalg.hpp"
+
+namespace rtad::ml {
+
+struct MlpConfig {
+  std::uint32_t input_dim = 16;
+  std::uint32_t hidden = 320;
+  std::uint32_t epochs = 60;
+  float learning_rate = 2e-3f;
+  float adam_beta1 = 0.9f;
+  float adam_beta2 = 0.999f;
+  float adam_eps = 1e-8f;
+  std::uint64_t seed = 19;
+};
+
+class Mlp {
+ public:
+  explicit Mlp(MlpConfig config);
+
+  /// Backprop training on normal windows. Returns final mean MSE.
+  float train(const std::vector<Vector>& windows);
+
+  Vector hidden(const Vector& x) const;
+  Vector reconstruct(const Vector& x) const;
+  float score(const Vector& x) const;
+
+  const MlpConfig& config() const noexcept { return config_; }
+  bool trained() const noexcept { return trained_; }
+
+  /// Weight access in the same shape the autoencoder kernels consume.
+  const Matrix& input_weights() const noexcept { return w1_; }  ///< H x d
+  const Vector& input_bias() const noexcept { return b1_; }     ///< H
+  const Matrix& readout() const noexcept { return w2_; }        ///< d x H
+
+  /// Total trained parameters (the "heavier than ELM" axis: the ELM only
+  /// solves for the readout, 1/(1+d/H) of this).
+  std::size_t parameter_count() const noexcept;
+
+ private:
+  MlpConfig config_;
+  Matrix w1_;
+  Vector b1_;
+  Matrix w2_;
+  bool trained_ = false;
+};
+
+}  // namespace rtad::ml

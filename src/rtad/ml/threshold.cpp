@@ -1,0 +1,55 @@
+#include "rtad/ml/threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rtad::ml {
+
+Threshold Threshold::calibrate(const std::vector<float>& normal_scores,
+                               double percentile, float margin) {
+  if (normal_scores.empty()) {
+    throw std::invalid_argument("no calibration scores");
+  }
+  std::vector<float> sorted = normal_scores;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(percentile / 100.0 * static_cast<double>(sorted.size())));
+  const float q = sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+  return Threshold(q * margin);
+}
+
+double DetectionStats::true_positive_rate() const noexcept {
+  const auto p = true_positives + false_negatives;
+  return p == 0 ? 0.0
+                : static_cast<double>(true_positives) / static_cast<double>(p);
+}
+
+double DetectionStats::false_positive_rate() const noexcept {
+  const auto n = false_positives + true_negatives;
+  return n == 0 ? 0.0
+                : static_cast<double>(false_positives) / static_cast<double>(n);
+}
+
+DetectionStats evaluate_detection(const Threshold& threshold,
+                                  const std::vector<float>& normal_scores,
+                                  const std::vector<float>& anomalous_scores) {
+  DetectionStats s;
+  for (float v : normal_scores) {
+    if (threshold.exceeded(v)) {
+      ++s.false_positives;
+    } else {
+      ++s.true_negatives;
+    }
+  }
+  for (float v : anomalous_scores) {
+    if (threshold.exceeded(v)) {
+      ++s.true_positives;
+    } else {
+      ++s.false_negatives;
+    }
+  }
+  return s;
+}
+
+}  // namespace rtad::ml

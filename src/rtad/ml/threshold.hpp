@@ -1,0 +1,43 @@
+// Anomaly-score thresholding.
+//
+// The detection threshold is calibrated on held-out *normal* scores: the
+// chosen percentile times a safety margin. This is the standard one-class
+// calibration both referenced model papers use.
+#pragma once
+
+#include <vector>
+
+namespace rtad::ml {
+
+class Threshold {
+ public:
+  Threshold() = default;
+  explicit Threshold(float value) : value_(value) {}
+
+  /// Calibrate from normal validation scores.
+  static Threshold calibrate(const std::vector<float>& normal_scores,
+                             double percentile = 99.5, float margin = 1.15f);
+
+  float value() const noexcept { return value_; }
+  bool exceeded(float score) const noexcept { return score > value_; }
+
+ private:
+  float value_ = 0.0f;
+};
+
+/// Detection quality summary over labeled scores.
+struct DetectionStats {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t true_negatives = 0;
+  std::size_t false_negatives = 0;
+
+  double true_positive_rate() const noexcept;
+  double false_positive_rate() const noexcept;
+};
+
+DetectionStats evaluate_detection(const Threshold& threshold,
+                                  const std::vector<float>& normal_scores,
+                                  const std::vector<float>& anomalous_scores);
+
+}  // namespace rtad::ml

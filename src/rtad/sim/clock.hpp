@@ -1,0 +1,53 @@
+// Clock domains for the multi-rate RTAD MPSoC simulation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "rtad/sim/time.hpp"
+
+namespace rtad::sim {
+
+/// One synchronous clock domain. The simulator ticks every component in a
+/// domain at each rising edge, i.e. every `period_ps()` picoseconds starting
+/// at t = period (edge 0 fires after one full period, so state observed at
+/// t=0 is the reset state).
+class ClockDomain {
+ public:
+  ClockDomain(std::string name, std::uint64_t freq_hz)
+      : name_(std::move(name)), freq_hz_(freq_hz) {
+    if (freq_hz == 0) throw std::invalid_argument("clock frequency must be > 0");
+    constexpr std::uint64_t ps_per_s = 1'000'000'000'000ULL;
+    if (ps_per_s % freq_hz != 0) {
+      throw std::invalid_argument("clock period for " + name_ +
+                                  " is not an integer number of picoseconds");
+    }
+    period_ps_ = ps_per_s / freq_hz;
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t freq_hz() const noexcept { return freq_hz_; }
+  Picoseconds period_ps() const noexcept { return period_ps_; }
+
+  /// Number of completed cycles in this domain.
+  Cycle cycles() const noexcept { return cycles_; }
+
+  /// Duration of `n` cycles of this clock.
+  Picoseconds cycles_to_ps(Cycle n) const noexcept { return n * period_ps_; }
+
+  /// How many full cycles of this clock fit in `ps`.
+  Cycle ps_to_cycles(Picoseconds ps) const noexcept { return ps / period_ps_; }
+
+ private:
+  friend class Simulator;
+  void advance_one_cycle() noexcept { ++cycles_; }
+
+  std::string name_;
+  std::uint64_t freq_hz_;
+  Picoseconds period_ps_ = 0;
+  Cycle cycles_ = 0;
+};
+
+}  // namespace rtad::sim

@@ -1,0 +1,37 @@
+// Base class for all clocked hardware models.
+#pragma once
+
+#include <string>
+
+#include "rtad/sim/time.hpp"
+
+namespace rtad::sim {
+
+class Simulator;
+
+/// A synchronous component: `tick()` is invoked once per rising edge of the
+/// clock domain the component is registered in. Components must only mutate
+/// their own state in tick(); cross-component communication goes through
+/// FIFOs/ports so that intra-edge evaluation order does not change results
+/// beyond one-cycle skew (which real RTL has anyway).
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// One rising clock edge in this component's domain.
+  virtual void tick() = 0;
+
+  /// Synchronous reset; default is a no-op for stateless models.
+  virtual void reset() {}
+
+ private:
+  std::string name_;
+};
+
+}  // namespace rtad::sim

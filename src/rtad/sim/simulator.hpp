@@ -1,0 +1,71 @@
+// Multi-clock-domain cycle scheduler.
+//
+// The RTAD prototype runs three synchronous islands: the Cortex-A9 host at
+// 250 MHz, the MLPU fabric (IGM + MCM) at 125 MHz, and ML-MIAOW at 50 MHz
+// (§IV). The simulator advances a global picosecond clock and fires each
+// domain's rising edge at exact multiples of its period. Within one edge,
+// components tick in registration order (stable and documented, like an RTL
+// evaluation order); cross-domain communication always goes through FIFO
+// models so one-edge skew cannot change functional results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtad/sim/clock.hpp"
+#include "rtad/sim/component.hpp"
+#include "rtad/sim/stats.hpp"
+#include "rtad/sim/time.hpp"
+
+namespace rtad::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Create a clock domain owned by the simulator.
+  ClockDomain& add_clock(std::string name, std::uint64_t freq_hz);
+
+  /// Attach a component (not owned) to a domain's rising edge.
+  void attach(ClockDomain& domain, Component& component);
+
+  /// Current global time.
+  Picoseconds now() const noexcept { return now_ps_; }
+
+  /// Reset all attached components and rewind time to zero.
+  void reset();
+
+  /// Advance until `deadline_ps` (inclusive of edges at the deadline).
+  void run_until(Picoseconds deadline_ps);
+
+  /// Advance edge-group by edge-group while `keep_going()` is true, up to a
+  /// hard deadline (guards against wedged conditions). Returns time stopped.
+  Picoseconds run_while(const std::function<bool()>& keep_going,
+                        Picoseconds deadline_ps);
+
+  /// Advance exactly `n` cycles of `domain`.
+  void run_cycles(ClockDomain& domain, Cycle n);
+
+  StatsRegistry& stats() noexcept { return stats_; }
+  const StatsRegistry& stats() const noexcept { return stats_; }
+
+ private:
+  struct DomainSlot {
+    std::unique_ptr<ClockDomain> domain;
+    Picoseconds next_edge_ps;
+    std::vector<Component*> components;
+  };
+
+  /// Fire the earliest pending edge group. Returns its timestamp.
+  Picoseconds step_one_edge_group();
+  Picoseconds earliest_edge() const noexcept;
+
+  std::vector<DomainSlot> domains_;
+  Picoseconds now_ps_ = 0;
+  StatsRegistry stats_;
+};
+
+}  // namespace rtad::sim

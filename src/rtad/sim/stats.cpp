@@ -1,0 +1,44 @@
+#include "rtad/sim/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtad::sim {
+
+double Sampler::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile out of range");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(n)));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+void StatsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, s] : samplers_) s.reset();
+}
+
+void StatsRegistry::dump(std::ostream& os) const {
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c.value() << '\n';
+  }
+  for (const auto& [name, s] : samplers_) {
+    os << name << ": n=" << s.count() << " mean=" << s.mean()
+       << " min=" << s.min() << " max=" << s.max() << '\n';
+  }
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) throw std::invalid_argument("geometric mean needs positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace rtad::sim

@@ -1,0 +1,33 @@
+// Time base for the RTAD simulation kernel.
+//
+// All module clocks in the prototype (CPU 250 MHz, MLPU 125 MHz, ML-MIAOW
+// 50 MHz) have periods that are integer multiples of 1 ps, so a 64-bit
+// picosecond counter is an exact global time base: no rounding between
+// domains, and ~213 days of simulated time before overflow.
+#pragma once
+
+#include <cstdint>
+
+namespace rtad::sim {
+
+/// Absolute simulation time in picoseconds.
+using Picoseconds = std::uint64_t;
+
+/// Cycle count within one clock domain.
+using Cycle = std::uint64_t;
+
+inline constexpr Picoseconds kPsPerNs = 1'000;
+inline constexpr Picoseconds kPsPerUs = 1'000'000;
+inline constexpr Picoseconds kPsPerMs = 1'000'000'000;
+
+/// Convert picoseconds to (fractional) microseconds for reporting.
+constexpr double to_us(Picoseconds ps) noexcept {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerUs);
+}
+
+/// Convert picoseconds to (fractional) nanoseconds for reporting.
+constexpr double to_ns(Picoseconds ps) noexcept {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerNs);
+}
+
+}  // namespace rtad::sim

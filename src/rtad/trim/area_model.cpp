@@ -1,0 +1,132 @@
+#include "rtad/trim/area_model.hpp"
+
+#include <cmath>
+
+namespace rtad::trim {
+
+namespace {
+// Shared dispatcher/front-end logic of the multi-CU ML-MIAOW (gate-count
+// only; its FPGA LUT/FF cost is folded into the CU totals by the synthesis
+// flow's flattening).
+constexpr std::uint64_t kSharedFrontendGates = 187;
+}  // namespace
+
+ModuleArea igm_trace_analyzer_area(std::uint32_t ta_width) {
+  // Each TA unit is a full PFT byte-decoder state machine replica plus its
+  // slice of the ripple chain.
+  return {"IGM", "Trace Analyzer",
+          2950ull * ta_width + 162,
+          80ull * ta_width + 30,
+          0,
+          3000ull * ta_width + 375};
+}
+
+ModuleArea igm_p2s_area(std::uint32_t depth) {
+  // Parallel-to-serial converter: `depth` 32-bit address slots plus
+  // sideband registers — FF heavy, mux-light.
+  return {"IGM", "P2S",
+          144ull * depth + 110,
+          261ull * depth + 30,
+          0,
+          3500ull * depth + 363};
+}
+
+ModuleArea igm_ivg_area(std::uint32_t table_entries) {
+  // Address mapper CAM + vector-encoder conversion table.
+  return {"IGM", "Input Vector Generator",
+          8ull * table_entries + 378,
+          14ull * table_entries + 171,
+          0,
+          150ull * table_entries + 830};
+}
+
+ModuleArea mcm_internal_fifo_area(std::uint32_t depth) {
+  // Vector FIFO: storage maps to BRAM; control is tiny.
+  return {"MCM", "Internal FIFO",
+          static_cast<std::uint64_t>(depth) + 5,
+          4ull * depth + 1,
+          (depth + 3) / 4 * 5,
+          32ull * depth + 6};
+}
+
+ModuleArea mcm_driver_area() {
+  return {"MCM", "ML-MIAOW Driver", 489, 265, 0, 5971};
+}
+
+ModuleArea mcm_control_fsm_area() {
+  return {"MCM", "Control FSM", 1609, 1698, 0, 16977};
+}
+
+ModuleArea mcm_interrupt_manager_area() {
+  return {"MCM", "Interrupt Manager", 42, 91, 0, 927};
+}
+
+ModuleArea ml_miaow_area(std::uint32_t num_cus,
+                         const std::vector<bool>& retained) {
+  const auto& inv = gpgpu::RtlInventory::instance();
+  const gpgpu::AreaTotals cu =
+      retained.empty() ? inv.total_area() : inv.area_of(retained);
+  ModuleArea a;
+  a.module = "MCM";
+  a.submodule = "ML-MIAOW (" + std::to_string(num_cus) + " CUs)";
+  a.luts = cu.luts * num_cus;
+  a.ffs = cu.ffs * num_cus;
+  a.brams = cu.brams * num_cus;
+  const gpgpu::AreaTotals all{a.luts, a.ffs, a.brams};
+  a.gates = static_cast<std::uint64_t>(
+                std::llround(gpgpu::gate_equivalents(all))) +
+            kSharedFrontendGates;
+  return a;
+}
+
+std::vector<ModuleArea> build_table1(const MlpuStructure& s) {
+  std::vector<ModuleArea> rows;
+  rows.push_back(igm_trace_analyzer_area(s.ta_width));
+  rows.push_back(igm_p2s_area(s.p2s_depth));
+  rows.push_back(igm_ivg_area(s.ivg_table_entries));
+  rows.push_back(mcm_internal_fifo_area(s.mcm_fifo_depth));
+  rows.push_back(mcm_driver_area());
+  rows.push_back(mcm_control_fsm_area());
+  rows.push_back(mcm_interrupt_manager_area());
+  rows.push_back(ml_miaow_area(s.num_cus, s.retained));
+  return rows;
+}
+
+EnergyBreakdown engine_energy(const std::vector<std::uint64_t>& activity,
+                              const std::vector<bool>& retained,
+                              std::uint64_t cycles, std::uint32_t num_cus,
+                              const EnergyConstants& constants) {
+  const auto& inv = gpgpu::RtlInventory::instance();
+  if (activity.size() != inv.num_units()) {
+    throw std::invalid_argument("activity vector size mismatch");
+  }
+  EnergyBreakdown e;
+  for (const auto& unit : inv.units()) {
+    const gpgpu::AreaTotals a{unit.luts, unit.ffs, unit.brams};
+    e.dynamic_nj += static_cast<double>(activity[unit.id]) *
+                    gpgpu::gate_equivalents(a) *
+                    constants.dynamic_fj_per_gate_activation * 1e-6;
+  }
+  const gpgpu::AreaTotals cu_area =
+      retained.empty() ? inv.total_area() : inv.area_of(retained);
+  const double gates =
+      gpgpu::gate_equivalents(cu_area) * static_cast<double>(num_cus);
+  const double seconds = static_cast<double>(cycles) / 50e6;
+  e.static_nj = gates * constants.leakage_nw_per_gate * seconds;
+  return e;
+}
+
+ModuleArea total_of(const std::vector<ModuleArea>& rows) {
+  ModuleArea t;
+  t.module = "Total";
+  t.submodule = "";
+  for (const auto& r : rows) {
+    t.luts += r.luts;
+    t.ffs += r.ffs;
+    t.brams += r.brams;
+    t.gates += r.gates;
+  }
+  return t;
+}
+
+}  // namespace rtad::trim

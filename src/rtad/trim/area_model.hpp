@@ -1,0 +1,82 @@
+// MLPU synthesis area model (Table I stand-in).
+//
+// The Verilog modules were synthesized with Vivado (LUT/FF/BRAM) and
+// Synopsys Design Compiler (45 nm gate equivalents) in the paper; here each
+// module's area is a function of its structural parameters (TA width, FIFO
+// depths, table sizes, CU count), calibrated so the default RTAD
+// configuration reproduces Table I.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtad/gpgpu/rtl_inventory.hpp"
+
+namespace rtad::trim {
+
+struct ModuleArea {
+  std::string module;     ///< "IGM" / "MCM"
+  std::string submodule;  ///< e.g. "Trace Analyzer"
+  std::uint64_t luts = 0;
+  std::uint64_t ffs = 0;
+  std::uint64_t brams = 0;
+  std::uint64_t gates = 0;  ///< Design Compiler gate equivalents
+};
+
+struct MlpuStructure {
+  std::uint32_t ta_width = 4;           ///< TA units in the trace analyzer
+  std::uint32_t p2s_depth = 4;          ///< P2S queue entries
+  std::uint32_t ivg_table_entries = 64; ///< mapper/encoder table size
+  std::uint32_t mcm_fifo_depth = 8;
+  std::uint32_t num_cus = 5;            ///< ML-MIAOW compute units
+  /// Per-CU retained units (the trimmed configuration); empty = untrimmed.
+  std::vector<bool> retained;
+};
+
+// --- per-module area functions ---
+ModuleArea igm_trace_analyzer_area(std::uint32_t ta_width);
+ModuleArea igm_p2s_area(std::uint32_t depth);
+ModuleArea igm_ivg_area(std::uint32_t table_entries);
+ModuleArea mcm_internal_fifo_area(std::uint32_t depth);
+ModuleArea mcm_driver_area();
+ModuleArea mcm_control_fsm_area();
+ModuleArea mcm_interrupt_manager_area();
+ModuleArea ml_miaow_area(std::uint32_t num_cus,
+                         const std::vector<bool>& retained);
+
+/// The full Table I: one row per submodule plus a synthesized total.
+std::vector<ModuleArea> build_table1(const MlpuStructure& structure = {});
+ModuleArea total_of(const std::vector<ModuleArea>& rows);
+
+// ---------------------------------------------------------------- energy
+//
+// "This area saving can bring not only power efficiency but also more
+// computation power by increasing the number of CUs without demanding more
+// space" (§III-B). The model charges dynamic energy per RTL-unit activation
+// (proportional to the unit's gate count) and static/leakage energy for
+// every *retained* gate over the busy time — so trimming directly cuts the
+// leakage term even at identical performance.
+
+struct EnergyBreakdown {
+  double dynamic_nj = 0.0;
+  double static_nj = 0.0;
+  double total_nj() const noexcept { return dynamic_nj + static_nj; }
+};
+
+struct EnergyConstants {
+  double dynamic_fj_per_gate_activation = 1.8;  ///< 45 nm switching energy
+  double leakage_nw_per_gate = 2.5;             ///< 45 nm leakage
+};
+
+/// Energy for an engine run: `activity` is the per-unit hit vector recorded
+/// by the GPU's coverage instrumentation (one entry per RtlInventory unit),
+/// `retained` the engine's configuration (empty = untrimmed), `cycles` the
+/// busy 50 MHz cycles and `num_cus` the instantiated CU count (leakage
+/// scales with silicon, not with use).
+EnergyBreakdown engine_energy(const std::vector<std::uint64_t>& activity,
+                              const std::vector<bool>& retained,
+                              std::uint64_t cycles, std::uint32_t num_cus,
+                              const EnergyConstants& constants = {});
+
+}  // namespace rtad::trim

@@ -1,0 +1,51 @@
+#include "rtad/trim/coverage_db.hpp"
+
+#include <stdexcept>
+
+#include "rtad/gpgpu/rtl_inventory.hpp"
+
+namespace rtad::trim {
+
+CoverageDb::CoverageDb()
+    : hits_(gpgpu::RtlInventory::instance().num_units(), 0) {}
+
+CoverageDb::CoverageDb(std::vector<std::uint64_t> hits)
+    : hits_(std::move(hits)) {
+  if (hits_.size() != gpgpu::RtlInventory::instance().num_units()) {
+    throw std::invalid_argument("coverage vector size mismatch");
+  }
+}
+
+CoverageDb CoverageDb::from_gpu(const gpgpu::Gpu& gpu) {
+  return CoverageDb(gpu.coverage());
+}
+
+void CoverageDb::merge(const CoverageDb& other) {
+  if (other.hits_.size() != hits_.size()) {
+    throw std::invalid_argument("cannot merge coverage of different inventories");
+  }
+  for (std::size_t i = 0; i < hits_.size(); ++i) hits_[i] += other.hits_[i];
+}
+
+std::vector<bool> CoverageDb::covered_units() const {
+  std::vector<bool> covered(hits_.size());
+  for (std::size_t i = 0; i < hits_.size(); ++i) covered[i] = hits_[i] > 0;
+  return covered;
+}
+
+std::size_t CoverageDb::covered_count() const {
+  std::size_t n = 0;
+  for (const auto h : hits_) n += h > 0 ? 1 : 0;
+  return n;
+}
+
+std::vector<std::string> CoverageDb::uncovered_names() const {
+  const auto& inv = gpgpu::RtlInventory::instance();
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < hits_.size(); ++i) {
+    if (hits_[i] == 0) names.push_back(inv.unit(static_cast<std::uint32_t>(i)).name);
+  }
+  return names;
+}
+
+}  // namespace rtad::trim

@@ -1,0 +1,37 @@
+// Coverage database — the stand-in for Cadence Incisive's code-coverage
+// output plus ICCR's merge step (Fig. 4, steps 1-2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtad/gpgpu/gpu.hpp"
+
+namespace rtad::trim {
+
+class CoverageDb {
+ public:
+  CoverageDb();
+  explicit CoverageDb(std::vector<std::uint64_t> hits);
+
+  /// Snapshot a GPU's recorded coverage (one "simulation run").
+  static CoverageDb from_gpu(const gpgpu::Gpu& gpu);
+
+  /// ICCR-style merge: per-unit hit counts accumulate.
+  void merge(const CoverageDb& other);
+
+  const std::vector<std::uint64_t>& hits() const noexcept { return hits_; }
+  bool covered(std::uint32_t unit_id) const { return hits_.at(unit_id) > 0; }
+  std::vector<bool> covered_units() const;
+  std::size_t covered_count() const;
+  std::size_t total_units() const noexcept { return hits_.size(); }
+
+  /// Human-readable uncovered-unit listing (trim candidates).
+  std::vector<std::string> uncovered_names() const;
+
+ private:
+  std::vector<std::uint64_t> hits_;
+};
+
+}  // namespace rtad::trim

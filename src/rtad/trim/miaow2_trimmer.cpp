@@ -1,0 +1,20 @@
+#include "rtad/trim/miaow2_trimmer.hpp"
+
+namespace rtad::trim {
+
+TrimResult trim_alu_decoder_only(const CoverageDb& coverage) {
+  const auto& inv = gpgpu::RtlInventory::instance();
+  TrimResult r;
+  r.retained = coverage.covered_units();
+  for (const auto& unit : inv.units()) {
+    if (!unit.alu_or_decoder) r.retained[unit.id] = true;
+  }
+  r.area = inv.area_of(r.retained);
+  r.full_area = inv.total_area();
+  for (const auto kept : r.retained) {
+    if (!kept) ++r.units_removed;
+  }
+  return r;
+}
+
+}  // namespace rtad::trim

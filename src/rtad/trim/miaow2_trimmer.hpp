@@ -1,0 +1,18 @@
+// MIAOW2.0 / SCRATCH-style baseline trimmer [15].
+//
+// "The trimming-tool of MIAOW2.0 analyzes the instructions of the target
+// application and only trims unused codes in certain sub-blocks such as ALU
+// or instruction decoder" (§IV-A). Units outside that sub-block domain —
+// register-file banks, LDS banks, caches, graphics pipes — are retained
+// whether covered or not.
+#pragma once
+
+#include "rtad/trim/trimmer.hpp"
+
+namespace rtad::trim {
+
+/// Baseline trimmer: remove only uncovered units inside the ALU/decoder
+/// sub-block domain.
+TrimResult trim_alu_decoder_only(const CoverageDb& coverage);
+
+}  // namespace rtad::trim

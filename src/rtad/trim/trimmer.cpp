@@ -1,0 +1,17 @@
+#include "rtad/trim/trimmer.hpp"
+
+namespace rtad::trim {
+
+TrimResult trim_full(const CoverageDb& coverage) {
+  const auto& inv = gpgpu::RtlInventory::instance();
+  TrimResult r;
+  r.retained = coverage.covered_units();
+  r.area = inv.area_of(r.retained);
+  r.full_area = inv.total_area();
+  for (const auto kept : r.retained) {
+    if (!kept) ++r.units_removed;
+  }
+  return r;
+}
+
+}  // namespace rtad::trim

@@ -1,0 +1,28 @@
+// Coverage-driven trimming (Fig. 4, step 3) — the ML-MIAOW flow: identify
+// uncovered units across ALL sub-blocks and remove them.
+#pragma once
+
+#include "rtad/gpgpu/rtl_inventory.hpp"
+#include "rtad/trim/coverage_db.hpp"
+
+namespace rtad::trim {
+
+struct TrimResult {
+  std::vector<bool> retained;
+  gpgpu::AreaTotals area;
+  gpgpu::AreaTotals full_area;
+  std::size_t units_removed = 0;
+
+  /// Fractional (LUT+FF) area reduction vs. the untrimmed design.
+  double reduction() const noexcept {
+    const auto full = static_cast<double>(full_area.lut_ff_sum());
+    return full == 0.0
+               ? 0.0
+               : 1.0 - static_cast<double>(area.lut_ff_sum()) / full;
+  }
+};
+
+/// ML-MIAOW trimmer: retain exactly the covered units.
+TrimResult trim_full(const CoverageDb& coverage);
+
+}  // namespace rtad::trim

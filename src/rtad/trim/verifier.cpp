@@ -1,0 +1,47 @@
+#include "rtad/trim/verifier.hpp"
+
+#include <cmath>
+
+namespace rtad::trim {
+
+VerifyResult verify_trim(const ml::ModelImage& image,
+                         const std::vector<std::vector<std::uint32_t>>& payloads,
+                         const std::vector<bool>& retained,
+                         std::uint32_t num_cus) {
+  VerifyResult result;
+
+  gpgpu::GpuConfig ref_cfg;
+  ref_cfg.num_cus = 1;  // the original MIAOW configuration
+  gpgpu::Gpu reference(ref_cfg);
+  ml::load_image(reference, image);
+
+  gpgpu::GpuConfig trim_cfg;
+  trim_cfg.num_cus = num_cus;
+  gpgpu::Gpu trimmed(trim_cfg);
+  trimmed.set_trim(retained);
+  ml::load_image(trimmed, image);
+
+  for (const auto& payload : payloads) {
+    ml::InferenceResult ref, got;
+    try {
+      ref = ml::run_inference_offline(reference, image, payload);
+      got = ml::run_inference_offline(trimmed, image, payload);
+    } catch (const gpgpu::TrimViolation& violation) {
+      result.detail = violation.what();
+      return result;
+    }
+    ++result.inferences_compared;
+    const float delta = std::fabs(ref.score - got.score);
+    result.max_score_delta = std::max(result.max_score_delta, delta);
+    if (ref.anomaly != got.anomaly || delta > 1e-5f) {
+      result.detail = "result mismatch: reference score " +
+                      std::to_string(ref.score) + " vs trimmed " +
+                      std::to_string(got.score);
+      return result;
+    }
+  }
+  result.passed = true;
+  return result;
+}
+
+}  // namespace rtad::trim

@@ -1,0 +1,30 @@
+// Trim verification (Fig. 4, step 4): "verify whether the trimmed code
+// operates correctly by comparing its computation results with those from
+// the original MIAOW."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtad/ml/kernel_compiler.hpp"
+#include "rtad/trim/trimmer.hpp"
+
+namespace rtad::trim {
+
+struct VerifyResult {
+  bool passed = false;
+  std::size_t inferences_compared = 0;
+  float max_score_delta = 0.0f;
+  std::string detail;  ///< failure description (trim violation / mismatch)
+};
+
+/// Run the model's inference sequence over `payloads` on both an untrimmed
+/// reference GPU and a GPU trimmed to `retained`, comparing every result.
+/// A TrimViolation (removed logic exercised) or any score/flag divergence
+/// fails verification.
+VerifyResult verify_trim(const ml::ModelImage& image,
+                         const std::vector<std::vector<std::uint32_t>>& payloads,
+                         const std::vector<bool>& retained,
+                         std::uint32_t num_cus = 5);
+
+}  // namespace rtad::trim

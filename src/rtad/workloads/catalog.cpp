@@ -1,0 +1,59 @@
+// Per-benchmark calibration. Branch densities and kind mixes follow the
+// published characterizations of SPEC CPU2006 integer codes (e.g. the
+// branch-density rankings in which omnetpp/xalancbmk/perlbench are
+// control-flow heavy while hmmer/h264ref/libquantum are loop/compute
+// dominated). Syscall cadence reflects the I/O behaviour of the reference
+// workloads (bzip2/gcc/perlbench file-heavy; libquantum nearly silent).
+#include "rtad/workloads/catalog.hpp"
+
+namespace rtad::workloads {
+
+namespace {
+
+SpecProfile make(const char* name, double branch_frac, double call_f,
+                 double ret_f, double ind_f, double taken, std::size_t sites,
+                 double zipf, std::size_t phase_window,
+                 std::uint64_t phase_len, std::uint64_t syscall_gap,
+                 std::size_t syscall_kinds) {
+  SpecProfile p;
+  p.name = name;
+  p.branch_fraction = branch_frac;
+  p.call_fraction = call_f;
+  p.return_fraction = ret_f;
+  p.indirect_fraction = ind_f;
+  p.cond_taken_rate = taken;
+  p.branch_sites = sites;
+  p.zipf_skew = zipf;
+  p.phase_window = phase_window;
+  p.phase_length_branches = phase_len;
+  p.syscall_interval_instrs = syscall_gap;
+  p.syscall_kinds = syscall_kinds;
+  return p;
+}
+
+}  // namespace
+
+std::vector<SpecProfile> build_cint2006_catalog() {
+  std::vector<SpecProfile> v;
+  // name                branch  call   ret    ind   taken  sites  zipf  win   phase     sys-gap   sys#
+  v.push_back(make("400.perlbench", 0.23, 0.10, 0.10, 0.050, 0.60, 24576, 1.05, 1024, 15'000, 900'000, 48));
+  v.push_back(make("401.bzip2",     0.15, 0.04, 0.04, 0.005, 0.68, 1024,  1.20, 256,  60'000, 1'500'000, 24));
+  v.push_back(make("403.gcc",       0.22, 0.09, 0.09, 0.035, 0.58, 32768, 1.00, 2048, 8'000,  700'000, 52));
+  v.push_back(make("429.mcf",       0.19, 0.03, 0.03, 0.004, 0.70, 512,   1.25, 128,  80'000, 4'000'000, 18));
+  v.push_back(make("445.gobmk",     0.21, 0.11, 0.11, 0.015, 0.57, 16384, 1.05, 1024, 12'000, 2'500'000, 30));
+  v.push_back(make("456.hmmer",     0.08, 0.02, 0.02, 0.002, 0.75, 768,   1.30, 128,  120'000, 3'500'000, 20));
+  v.push_back(make("458.sjeng",     0.21, 0.09, 0.09, 0.020, 0.59, 8192,  1.10, 512,  18'000, 3'000'000, 22));
+  v.push_back(make("462.libquantum",0.13, 0.02, 0.02, 0.002, 0.80, 256,   1.35, 64,   150'000, 6'000'000, 14));
+  v.push_back(make("464.h264ref",   0.08, 0.05, 0.05, 0.010, 0.72, 4096,  1.15, 512,  40'000, 1'200'000, 26));
+  v.push_back(make("471.omnetpp",   0.26, 0.12, 0.12, 0.060, 0.55, 20480, 1.00, 1536, 6'000,  2'000'000, 34));
+  v.push_back(make("473.astar",     0.17, 0.05, 0.05, 0.008, 0.66, 2048,  1.15, 256,  50'000, 5'000'000, 16));
+  v.push_back(make("483.xalancbmk", 0.26, 0.12, 0.12, 0.055, 0.56, 28672, 1.00, 2048, 7'000,  1'000'000, 44));
+  return v;
+}
+
+const std::vector<SpecProfile>& spec_cint2006() {
+  static const std::vector<SpecProfile> catalog = build_cint2006_catalog();
+  return catalog;
+}
+
+}  // namespace rtad::workloads

@@ -1,0 +1,11 @@
+// The calibrated SPEC CINT2006 profile catalog.
+#pragma once
+
+#include "rtad/workloads/spec_model.hpp"
+
+namespace rtad::workloads {
+
+/// Build the catalog (normally reached through spec_cint2006()).
+std::vector<SpecProfile> build_cint2006_catalog();
+
+}  // namespace rtad::workloads

@@ -1,0 +1,26 @@
+#include "rtad/workloads/spec_model.hpp"
+
+#include <stdexcept>
+
+#include "rtad/workloads/catalog.hpp"
+
+namespace rtad::workloads {
+
+const SpecProfile& find_profile(const std::string& name) {
+  for (const auto& p : spec_cint2006()) {
+    if (p.name == name) return p;
+    // Accept the short form without the numeric prefix.
+    const auto dot = p.name.find('.');
+    if (dot != std::string::npos && p.name.substr(dot + 1) == name) return p;
+  }
+  throw std::invalid_argument("unknown SPEC benchmark: " + name);
+}
+
+std::vector<std::string> spec_names() {
+  std::vector<std::string> names;
+  names.reserve(spec_cint2006().size());
+  for (const auto& p : spec_cint2006()) names.push_back(p.name);
+  return names;
+}
+
+}  // namespace rtad::workloads

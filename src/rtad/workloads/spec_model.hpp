@@ -1,0 +1,57 @@
+// Synthetic SPEC CINT2006 workload models.
+//
+// The paper evaluates with SPEC CINT2006 reference inputs on the A9 host.
+// We cannot run SPEC binaries here, so each benchmark is replaced by a
+// statistical control-flow model calibrated to its published branch
+// characteristics: dynamic branch density, branch-kind mix, conditional
+// taken rate, static branch-site population with Zipf-distributed
+// popularity, phase behaviour (working-set shifts), and system-call
+// cadence. These are exactly the properties Figs. 6-8 depend on: trace
+// byte-rate (density x compressibility), IGM/MCM pressure (density), ELM
+// cadence (syscall interval) and LSTM sequence structure (site population
+// and phases).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtad::workloads {
+
+struct SpecProfile {
+  std::string name;  ///< e.g. "471.omnetpp"
+
+  // Dynamic instruction mix.
+  double branch_fraction = 0.18;  ///< fraction of instructions that branch
+
+  // Mix *within* branches (must sum to <= 1; remainder is conditional).
+  double call_fraction = 0.08;
+  double return_fraction = 0.08;
+  double indirect_fraction = 0.02;
+
+  double cond_taken_rate = 0.62;  ///< taken probability of conditionals
+
+  // Static code structure.
+  std::size_t branch_sites = 4096;  ///< static branch-site population
+  double zipf_skew = 1.1;           ///< site popularity skew
+  std::size_t phase_window = 512;   ///< active sites per phase
+  std::uint64_t phase_length_branches = 20'000;  ///< mean branches per phase
+
+  // OS interaction.
+  std::uint64_t syscall_interval_instrs = 2'000'000;  ///< mean gap
+  std::size_t syscall_kinds = 40;  ///< distinct syscalls the program uses
+  double syscall_zipf_skew = 1.2;
+
+  std::uint64_t code_base = 0x0001'0000;
+};
+
+/// All twelve SPEC CINT2006 benchmarks, calibrated.
+const std::vector<SpecProfile>& spec_cint2006();
+
+/// Look up a profile by (suffix of) name, e.g. "omnetpp" or "471.omnetpp".
+const SpecProfile& find_profile(const std::string& name);
+
+/// Short names in suite order (for table printing).
+std::vector<std::string> spec_names();
+
+}  // namespace rtad::workloads

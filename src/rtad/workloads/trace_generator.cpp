@@ -1,0 +1,158 @@
+#include "rtad/workloads/trace_generator.hpp"
+
+#include <algorithm>
+
+namespace rtad::workloads {
+
+namespace {
+constexpr std::size_t kMaxCallDepth = 64;
+
+// Call-target dynamics: a local random walk over the call graph (programs
+// traverse clusters of related functions — a module's helpers sit close
+// together) with Zipf-distributed restarts (returns to hot entry points).
+// The restart distribution makes long-run function popularity heavy-tailed
+// — so a *rate-targeted* monitored subset exists at every depth — while
+// the local walk gives the call sequence the temporal structure the LSTM
+// branch models learn.
+constexpr double kCallRestartProbability = 0.15;
+constexpr std::int64_t kCallWalkSpan = 3;  ///< walk step in [-span, +span]
+
+std::size_t function_count(const SpecProfile& p) {
+  // Large enough that the restart-Zipf tail offers arbitrarily quiet
+  // "modules": the monitored-site rate calibration needs windows whose mass
+  // sits below ~1e-3 even for programs with sparse call activity.
+  return std::max<std::size_t>(4096, p.branch_sites);
+}
+}  // namespace
+
+TraceGenerator::TraceGenerator(const SpecProfile& profile, std::uint64_t seed)
+    : profile_(profile),
+      rng_(seed),
+      site_zipf_(std::min(profile.phase_window, profile.branch_sites),
+                 profile.zipf_skew),
+      func_restart_zipf_(function_count(profile), kFuncRestartSkew),
+      syscall_zipf_(profile.syscall_kinds, profile.syscall_zipf_skew) {
+  sites_.reserve(profile_.branch_sites);
+  for (std::size_t i = 0; i < profile_.branch_sites; ++i) {
+    // ~16-byte average spacing with deterministic jitter; even addresses
+    // (PFT never traces bit 0).
+    const std::uint64_t jitter = ((i * 2654435761ULL) >> 27) & 0xEULL;
+    sites_.push_back(profile_.code_base + i * 16 + jitter);
+  }
+  const std::size_t n_funcs = function_count(profile_);
+  funcs_.reserve(n_funcs);
+  for (std::size_t j = 0; j < n_funcs; ++j) {
+    funcs_.push_back(profile_.code_base + 0x8'0000 + j * 256);
+  }
+  branches_until_phase_switch_ =
+      1 + rng_.geometric(1.0 / static_cast<double>(
+                                   profile_.phase_length_branches));
+  instrs_until_syscall_ = static_cast<std::int64_t>(
+      1 + rng_.geometric(1.0 / static_cast<double>(
+                                   profile_.syscall_interval_instrs)));
+}
+
+std::uint64_t TraceGenerator::sample_site_in_phase() {
+  const std::size_t idx = phase_offset_ + site_zipf_.sample(rng_);
+  return sites_[idx % sites_.size()];
+}
+
+void TraceGenerator::maybe_switch_phase() {
+  if (--branches_until_phase_switch_ > 0) return;
+  const std::size_t window = std::min(profile_.phase_window, sites_.size());
+  const std::size_t span = sites_.size() > window ? sites_.size() - window : 1;
+  phase_offset_ = rng_.uniform_below(span);
+  branches_until_phase_switch_ =
+      1 + rng_.geometric(1.0 / static_cast<double>(
+                                   profile_.phase_length_branches));
+}
+
+TraceStep TraceGenerator::next() {
+  TraceStep step;
+  // gap ~ Geometric(f) non-branch instructions, then the branch itself:
+  // one branch per 1/f instructions on average.
+  const std::uint32_t gap =
+      static_cast<std::uint32_t>(rng_.geometric(profile_.branch_fraction));
+  step.instr_gap = gap;
+  instructions_ += gap + 1;  // the branch is an instruction too
+  ++branches_;
+  maybe_switch_phase();
+
+  cpu::BranchEvent& ev = step.event;
+  ev.source = sample_site_in_phase();
+  ev.taken = true;
+
+  instrs_until_syscall_ -= gap + 1;
+  if (instrs_until_syscall_ <= 0) {
+    ev.kind = cpu::BranchKind::kSyscall;
+    ev.target = syscall_address(syscall_zipf_.sample(rng_));
+    instrs_until_syscall_ = static_cast<std::int64_t>(
+        1 + rng_.geometric(1.0 / static_cast<double>(
+                                     profile_.syscall_interval_instrs)));
+    return step;
+  }
+
+  const double u = rng_.uniform();
+  const double call_cut = profile_.call_fraction;
+  const double ret_cut = call_cut + profile_.return_fraction;
+  const double ind_cut = ret_cut + profile_.indirect_fraction;
+
+  if (u < call_cut) {
+    ev.kind = cpu::BranchKind::kCall;
+    if (rng_.chance(kCallRestartProbability)) {
+      current_func_ = func_restart_zipf_.sample(rng_);
+    } else {
+      const std::int64_t raw =
+          static_cast<std::int64_t>(rng_.uniform_below(2 * kCallWalkSpan)) -
+          kCallWalkSpan;
+      const std::int64_t step = raw >= 0 ? raw + 1 : raw;
+      // Saturate at the ends (no wrap-around: index distance is "module
+      // distance", and the hot head must not leak into the deep tail).
+      const auto n = static_cast<std::int64_t>(funcs_.size());
+      const std::int64_t next =
+          std::clamp<std::int64_t>(
+              static_cast<std::int64_t>(current_func_) + step, 0, n - 1);
+      current_func_ = static_cast<std::size_t>(next);
+    }
+    ev.target = funcs_[current_func_];
+    if (call_stack_.size() >= kMaxCallDepth) {
+      call_stack_.erase(call_stack_.begin());
+    }
+    call_stack_.push_back(ev.source + 4);
+  } else if (u < ret_cut && !call_stack_.empty()) {
+    ev.kind = cpu::BranchKind::kReturn;
+    ev.target = call_stack_.back();
+    call_stack_.pop_back();
+  } else if (u < ind_cut) {
+    ev.kind = cpu::BranchKind::kIndirectJump;
+    ev.target = sample_site_in_phase();
+  } else {
+    ev.kind = cpu::BranchKind::kConditional;
+    ev.taken = rng_.chance(profile_.cond_taken_rate);
+    // Short forward/backward offset; atoms do not carry it, but keeping a
+    // plausible target makes the event stream self-consistent.
+    const std::uint64_t offset = (rng_.uniform_below(64) + 1) * 2;
+    ev.target = rng_.chance(0.5) ? ev.source + offset
+                                 : (ev.source > offset ? ev.source - offset
+                                                       : ev.source + offset);
+  }
+  return step;
+}
+
+std::ptrdiff_t TraceGenerator::function_index(
+    std::uint64_t address) const noexcept {
+  const std::uint64_t base = profile_.code_base + 0x8'0000;
+  if (address < base || (address - base) % 256 != 0) return -1;
+  const std::uint64_t idx = (address - base) / 256;
+  if (idx >= funcs_.size()) return -1;
+  return static_cast<std::ptrdiff_t>(idx);
+}
+
+std::vector<TraceStep> TraceGenerator::take(std::size_t n) {
+  std::vector<TraceStep> steps;
+  steps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) steps.push_back(next());
+  return steps;
+}
+
+}  // namespace rtad::workloads

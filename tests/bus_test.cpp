@@ -1,0 +1,145 @@
+// AXI interconnect / memory / MMIO tests.
+#include <gtest/gtest.h>
+
+#include "rtad/bus/interconnect.hpp"
+#include "rtad/bus/memory.hpp"
+#include "rtad/bus/mmio.hpp"
+
+namespace rtad::bus {
+namespace {
+
+TEST(Memory, WordReadWriteRoundTrip) {
+  Memory mem(1024);
+  mem.write32(0, 0xDEADBEEF);
+  mem.write32(1020, 42);
+  EXPECT_EQ(mem.read32(0), 0xDEADBEEFu);
+  EXPECT_EQ(mem.read32(1020), 42u);
+}
+
+TEST(Memory, FloatRoundTrip) {
+  Memory mem(64);
+  mem.write_f32(8, 3.25f);
+  EXPECT_FLOAT_EQ(mem.read_f32(8), 3.25f);
+}
+
+TEST(Memory, Dword64RoundTrip) {
+  Memory mem(64);
+  mem.write64(16, 0x0123456789ABCDEFull);
+  EXPECT_EQ(mem.read64(16), 0x0123456789ABCDEFull);
+  EXPECT_EQ(mem.read32(16), 0x89ABCDEFu);  // little-endian layout
+}
+
+TEST(Memory, OutOfRangeThrows) {
+  Memory mem(64);
+  EXPECT_THROW(mem.read32(64), std::out_of_range);
+  EXPECT_THROW(mem.write32(1000, 1), std::out_of_range);
+}
+
+TEST(Memory, UnalignedThrows) {
+  Memory mem(64);
+  EXPECT_THROW(mem.read32(2), std::invalid_argument);
+  EXPECT_THROW(mem.write64(4, 0), std::invalid_argument);
+}
+
+TEST(Memory, SizeValidation) {
+  EXPECT_THROW(Memory(0), std::invalid_argument);
+  EXPECT_THROW(Memory(10), std::invalid_argument);
+}
+
+TEST(Mmio, ScratchRegistersRetainWrites) {
+  MmioRegion mmio(64);
+  mmio.write32(4, 77);
+  EXPECT_EQ(mmio.read32(4), 77u);
+  EXPECT_EQ(mmio.read32(8), 0u);  // unwritten reads as zero
+}
+
+TEST(Mmio, HooksIntercept) {
+  MmioRegion mmio(64);
+  std::uint32_t reg = 0;
+  mmio.on_write(0, [&](std::uint32_t v) { reg = v * 2; });
+  mmio.on_read(0, [&] { return reg + 1; });
+  mmio.write32(0, 21);
+  EXPECT_EQ(reg, 42u);
+  EXPECT_EQ(mmio.read32(0), 43u);
+}
+
+TEST(Mmio, RangeChecked) {
+  MmioRegion mmio(16);
+  EXPECT_THROW(mmio.read32(16), std::out_of_range);
+  EXPECT_THROW(mmio.write32(2, 0), std::out_of_range);
+  EXPECT_THROW(mmio.on_read(64, [] { return 0u; }), std::invalid_argument);
+}
+
+TEST(Interconnect, RoutesByAddressMap) {
+  Memory ddr(1024);
+  MmioRegion regs(64);
+  Interconnect bus;
+  bus.map("ddr", 0x1000'0000, 1024, ddr, /*is_ddr=*/true);
+  bus.map("regs", 0x4000'0000, 64, regs);
+  bus.write32(0x1000'0010, 5);
+  bus.write32(0x4000'0004, 6);
+  EXPECT_EQ(ddr.read32(0x10), 5u);
+  EXPECT_EQ(regs.read32(4), 6u);
+  std::uint32_t v = 0;
+  bus.read32(0x1000'0010, v);
+  EXPECT_EQ(v, 5u);
+}
+
+TEST(Interconnect, DecodeErrorThrows) {
+  Interconnect bus;
+  Memory ddr(64);
+  bus.map("ddr", 0, 64, ddr);
+  std::uint32_t v;
+  EXPECT_THROW(bus.read32(0x9999, v), std::out_of_range);
+}
+
+TEST(Interconnect, OverlapRejected) {
+  Interconnect bus;
+  Memory a(64), b(64);
+  bus.map("a", 0, 64, a);
+  EXPECT_THROW(bus.map("b", 32, 64, b), std::invalid_argument);
+}
+
+TEST(Interconnect, SingleBeatCosts) {
+  BusTiming t;
+  Interconnect bus(t);
+  Memory dev(64);
+  Memory ddr(64);
+  bus.map("dev", 0, 64, dev);
+  bus.map("ddr", 0x1000, 64, ddr, true);
+  EXPECT_EQ(bus.write32(0, 1), t.arbitration_cycles + t.write_beat_cycles);
+  EXPECT_EQ(bus.write32(0x1000, 1),
+            t.arbitration_cycles + t.write_beat_cycles + t.ddr_extra_cycles);
+  std::uint32_t v;
+  EXPECT_EQ(bus.read32(0, v), t.arbitration_cycles + t.read_beat_cycles);
+}
+
+TEST(Interconnect, BurstSplitsAtAxi3Limit) {
+  BusTiming t;
+  Interconnect bus(t);
+  Memory dev(512);
+  bus.map("dev", 0, 512, dev);
+  std::vector<std::uint32_t> beats(20);
+  for (std::size_t i = 0; i < beats.size(); ++i) {
+    beats[i] = static_cast<std::uint32_t>(i);
+  }
+  // 20 beats = one 16-beat txn + one 4-beat txn.
+  const std::uint32_t cost = bus.write_burst(0, beats);
+  EXPECT_EQ(cost, 2 * t.arbitration_cycles + 20 * t.write_beat_cycles);
+  EXPECT_EQ(dev.read32(4 * 19), 19u);
+  EXPECT_EQ(bus.transactions(), 2u);
+}
+
+TEST(Interconnect, ReadBurstReturnsData) {
+  Interconnect bus;
+  Memory dev(128);
+  bus.map("dev", 0, 128, dev);
+  for (std::uint32_t i = 0; i < 8; ++i) dev.write32(i * 4, i * 10);
+  std::vector<std::uint32_t> out;
+  bus.read_burst(0, 8, out);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[7], 70u);
+}
+
+}  // namespace
+}  // namespace rtad::bus

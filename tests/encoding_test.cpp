@@ -1,0 +1,153 @@
+// Binary machine-code image tests: round trips through encode/decode and
+// device memory, malformed-image rejection, and execution equivalence of
+// decoded kernels.
+#include <gtest/gtest.h>
+
+#include "rtad/gpgpu/assembler.hpp"
+#include "rtad/gpgpu/encoding.hpp"
+#include "rtad/gpgpu/gpu.hpp"
+#include "rtad/ml/kernels.hpp"
+
+namespace rtad::gpgpu {
+namespace {
+
+bool instructions_equal(const Instruction& a, const Instruction& b) {
+  return a.op == b.op && a.dst == b.dst && a.src0 == b.src0 &&
+         a.src1 == b.src1 && a.src2 == b.src2 && a.imm == b.imm;
+}
+
+TEST(Encoding, RoundTripsSimpleProgram) {
+  const auto prog = assemble(R"(
+.kernel demo
+.vgprs 12
+.lds 512
+start:
+  s_mov_b32 s4, 0x1234
+  v_mac_f32 v2, v3, 1.5
+  v_cndmask_b32 v4, 0, 1
+  global_load_dword v5, v6, s7, 64
+  s_cbranch_scc1 start
+  s_endpgm
+)");
+  const auto image = encode_program(prog);
+  EXPECT_EQ(image.size(),
+            kImageHeaderWords + prog.code.size() * kWordsPerInstruction);
+  const auto back = decode_program(image, "demo");
+  EXPECT_EQ(back.num_vgprs, prog.num_vgprs);
+  EXPECT_EQ(back.lds_bytes, prog.lds_bytes);
+  ASSERT_EQ(back.code.size(), prog.code.size());
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    EXPECT_TRUE(instructions_equal(back.code[i], prog.code[i])) << i;
+  }
+}
+
+TEST(Encoding, RoundTripsAllShippedKernels) {
+  for (const auto& prog :
+       {ml::kernels::elm_hidden(), ml::kernels::elm_recon(),
+        ml::kernels::elm_score(), ml::kernels::lstm_gates(),
+        ml::kernels::lstm_state(), ml::kernels::lstm_logits(),
+        ml::kernels::lstm_score()}) {
+    const auto back = decode_program(encode_program(prog), prog.name);
+    ASSERT_EQ(back.code.size(), prog.code.size()) << prog.name;
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+      EXPECT_TRUE(instructions_equal(back.code[i], prog.code[i]))
+          << prog.name << " @" << i;
+    }
+  }
+}
+
+TEST(Encoding, DecodedKernelExecutesIdentically) {
+  const auto prog = assemble(R"(
+  s_mov_b32 s4, 4096
+  v_cvt_f32_u32 v2, v0
+  v_mul_f32 v2, v2, 0.25
+  v_lshlrev_b32 v3, 2, v0
+  global_store_dword v2, v3, s4
+  s_endpgm
+)");
+  const auto decoded = decode_program(encode_program(prog));
+
+  auto run = [](const Program& p) {
+    GpuConfig cfg;
+    Gpu gpu(cfg);
+    LaunchConfig launch;
+    launch.program = &p;
+    gpu.launch(launch);
+    gpu.run_to_completion();
+    std::vector<std::uint32_t> out(64);
+    gpu.memory().read_block(4096, out.data(), out.size());
+    return out;
+  };
+  EXPECT_EQ(run(prog), run(decoded));
+}
+
+TEST(Encoding, StoresAndLoadsThroughDeviceMemory) {
+  const auto prog = assemble("  v_mov_b32 v2, 9\n  s_endpgm\n");
+  DeviceMemory mem(1 << 16);
+  const std::size_t bytes = store_program(mem, 0x2000, prog);
+  EXPECT_EQ(bytes, (kImageHeaderWords + 2 * kWordsPerInstruction) * 4);
+  const auto back = load_program(mem, 0x2000, "reloaded");
+  EXPECT_EQ(back.name, "reloaded");
+  ASSERT_EQ(back.code.size(), 2u);
+  EXPECT_EQ(back.code[0].op, Opcode::V_MOV_B32);
+}
+
+TEST(Encoding, RejectsMalformedImages) {
+  const auto prog = assemble("  s_endpgm\n");
+  auto image = encode_program(prog);
+
+  auto corrupted = image;
+  corrupted[0] = 0xDEAD;
+  EXPECT_THROW(decode_program(corrupted), EncodingError);
+
+  corrupted = image;
+  corrupted[1] = 99;  // wrong count
+  EXPECT_THROW(decode_program(corrupted), EncodingError);
+
+  corrupted = image;
+  corrupted[kImageHeaderWords] = 0x0000'0000;  // bad instruction magic
+  EXPECT_THROW(decode_program(corrupted), EncodingError);
+
+  corrupted = image;
+  corrupted[kImageHeaderWords] =
+      (kInstrMagic << 16) | 0xFFFF;  // bad opcode
+  EXPECT_THROW(decode_program(corrupted), EncodingError);
+
+  DeviceMemory mem(4096);
+  EXPECT_THROW(load_program(mem, 0), EncodingError);
+}
+
+TEST(Encoding, RejectsSrc2LiteralPlusImm) {
+  Program prog;
+  prog.name = "bad";
+  Instruction inst;
+  inst.op = Opcode::V_MAD_F32;
+  inst.dst = Operand::vgpr(1);
+  inst.src0 = Operand::vgpr(2);
+  inst.src1 = Operand::vgpr(3);
+  inst.src2 = Operand::litf(1.0f);
+  inst.imm = 4;  // collides with the src2 literal slot
+  prog.code.push_back(inst);
+  EXPECT_THROW(encode_program(prog), EncodingError);
+}
+
+TEST(Encoding, LiteralPayloadsSurviveBitExactly) {
+  Program prog;
+  Instruction inst;
+  inst.op = Opcode::V_MAD_F32;
+  inst.dst = Operand::vgpr(1);
+  inst.src0 = Operand::litf(-1.4426950408889634f);
+  inst.src1 = Operand::lit(0xDEADBEEF);
+  inst.src2 = Operand::litf(0.0f);
+  prog.code.push_back(inst);
+  Instruction end;
+  end.op = Opcode::S_ENDPGM;
+  prog.code.push_back(end);
+  const auto back = decode_program(encode_program(prog));
+  EXPECT_EQ(back.code[0].src0.literal, prog.code[0].src0.literal);
+  EXPECT_EQ(back.code[0].src1.literal, 0xDEADBEEFu);
+  EXPECT_EQ(back.code[0].src2.literal, prog.code[0].src2.literal);
+}
+
+}  // namespace
+}  // namespace rtad::gpgpu

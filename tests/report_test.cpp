@@ -1,0 +1,74 @@
+// Report/table formatting and SW-reference model tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rtad/core/report.hpp"
+#include "rtad/core/sw_reference.hpp"
+
+namespace rtad::core {
+namespace {
+
+TEST(Table, AlignsColumnsAndPrintsAllRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22,222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22,222"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("+="), std::string::npos);
+  // All data lines share the same width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(FmtCount, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1'927'294), "1,927,294");
+}
+
+TEST(SwReference, BreakdownMatchesCalibration) {
+  const auto b = sw_transfer_breakdown(32);
+  EXPECT_NEAR(b.step1_us, 1.1, 0.05);
+  EXPECT_NEAR(b.total_us(), 20.0, 1.0);
+}
+
+TEST(SwReference, ScalesWithVectorSize) {
+  const auto small = sw_transfer_breakdown(1);
+  const auto big = sw_transfer_breakdown(64);
+  EXPECT_EQ(small.step1_us, big.step1_us);  // read cost is per-record
+  EXPECT_LT(small.step2_us, big.step2_us);
+  EXPECT_LT(small.step3_us, big.step3_us);
+}
+
+TEST(SwReference, FasterClocksShrinkCpuTerms) {
+  ClockPlan fast;
+  fast.cpu_hz = 500'000'000;
+  const auto base = sw_transfer_breakdown(32);
+  const auto boosted = sw_transfer_breakdown(32, fast);
+  EXPECT_NEAR(boosted.step1_us, base.step1_us / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rtad::core

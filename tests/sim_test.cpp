@@ -1,0 +1,255 @@
+// Simulation-kernel unit tests: clocks, scheduler, FIFOs, RNG, stats.
+#include <gtest/gtest.h>
+
+#include "rtad/sim/clock.hpp"
+#include "rtad/sim/fifo.hpp"
+#include "rtad/sim/rng.hpp"
+#include "rtad/sim/simulator.hpp"
+#include "rtad/sim/stats.hpp"
+
+namespace rtad::sim {
+namespace {
+
+class TickCounter final : public Component {
+ public:
+  explicit TickCounter(std::string name) : Component(std::move(name)) {}
+  void tick() override { ++ticks; }
+  void reset() override { ticks = 0; }
+  std::uint64_t ticks = 0;
+};
+
+TEST(ClockDomain, PeriodsAreExact) {
+  ClockDomain cpu("cpu", 250'000'000);
+  ClockDomain fabric("fabric", 125'000'000);
+  ClockDomain gpu("gpu", 50'000'000);
+  EXPECT_EQ(cpu.period_ps(), 4'000u);
+  EXPECT_EQ(fabric.period_ps(), 8'000u);
+  EXPECT_EQ(gpu.period_ps(), 20'000u);
+}
+
+TEST(ClockDomain, RejectsNonIntegerPeriod) {
+  EXPECT_THROW(ClockDomain("odd", 333'333'333), std::invalid_argument);
+  EXPECT_THROW(ClockDomain("zero", 0), std::invalid_argument);
+}
+
+TEST(ClockDomain, CycleConversions) {
+  ClockDomain gpu("gpu", 50'000'000);
+  EXPECT_EQ(gpu.cycles_to_ps(5), 100'000u);
+  EXPECT_EQ(gpu.ps_to_cycles(100'000), 5u);
+  EXPECT_EQ(gpu.ps_to_cycles(99'999), 4u);
+}
+
+TEST(Simulator, TicksAtFrequencyRatio) {
+  Simulator sim;
+  auto& fast = sim.add_clock("fast", 250'000'000);
+  auto& slow = sim.add_clock("slow", 50'000'000);
+  TickCounter a("a"), b("b");
+  sim.attach(fast, a);
+  sim.attach(slow, b);
+  sim.run_until(kPsPerUs);  // 1 us
+  EXPECT_EQ(a.ticks, 250u);
+  EXPECT_EQ(b.ticks, 50u);
+}
+
+TEST(Simulator, CoincidentEdgesFireFastDomainFirst) {
+  Simulator sim;
+  auto& fast = sim.add_clock("fast", 250'000'000);
+  auto& slow = sim.add_clock("slow", 125'000'000);
+  std::vector<std::string> order;
+  class Probe final : public Component {
+   public:
+    Probe(std::string name, std::vector<std::string>& log)
+        : Component(name), log_(log) {}
+    void tick() override { log_.push_back(name()); }
+    std::vector<std::string>& log_;
+  };
+  Probe pf("fast", order), ps("slow", order);
+  sim.attach(fast, pf);
+  sim.attach(slow, ps);
+  sim.run_until(8'000);  // one slow edge at 8 ns, fast edges at 4 and 8 ns
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "fast");
+  EXPECT_EQ(order[1], "fast");  // 8 ns edge: fast (registered first) ...
+  EXPECT_EQ(order[2], "slow");  // ... then slow
+}
+
+TEST(Simulator, RunWhileStopsOnPredicate) {
+  Simulator sim;
+  auto& clk = sim.add_clock("clk", 100'000'000);
+  TickCounter c("c");
+  sim.attach(clk, c);
+  sim.run_while([&] { return c.ticks < 10; }, kPsPerMs);
+  EXPECT_EQ(c.ticks, 10u);
+}
+
+TEST(Simulator, RunCyclesAdvancesExactCount) {
+  Simulator sim;
+  auto& clk = sim.add_clock("clk", 125'000'000);
+  TickCounter c("c");
+  sim.attach(clk, c);
+  sim.run_cycles(clk, 17);
+  EXPECT_EQ(c.ticks, 17u);
+  EXPECT_EQ(clk.cycles(), 17u);
+}
+
+TEST(Simulator, ResetRewindsTimeAndComponents) {
+  Simulator sim;
+  auto& clk = sim.add_clock("clk", 125'000'000);
+  TickCounter c("c");
+  sim.attach(clk, c);
+  sim.run_cycles(clk, 5);
+  sim.reset();
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(c.ticks, 0u);
+  EXPECT_EQ(clk.cycles(), 0u);
+}
+
+TEST(Simulator, ThrowsWithNoComponents) {
+  Simulator sim;
+  sim.add_clock("clk", 1'000'000);
+  EXPECT_THROW(sim.run_cycles(*&sim.add_clock("c2", 1'000'000), 1),
+               std::runtime_error);
+}
+
+TEST(Fifo, PushPopOrder) {
+  Fifo<int> f(4);
+  EXPECT_TRUE(f.try_push(1));
+  EXPECT_TRUE(f.try_push(2));
+  EXPECT_TRUE(f.try_push(3));
+  EXPECT_EQ(*f.pop(), 1);
+  EXPECT_EQ(*f.pop(), 2);
+  EXPECT_EQ(*f.pop(), 3);
+  EXPECT_FALSE(f.pop().has_value());
+}
+
+TEST(Fifo, OverflowDropsNewAndCounts) {
+  Fifo<int> f(2);
+  EXPECT_TRUE(f.try_push(1));
+  EXPECT_TRUE(f.try_push(2));
+  EXPECT_FALSE(f.try_push(3));  // dropped
+  EXPECT_EQ(f.overflows(), 1u);
+  EXPECT_EQ(f.pushes(), 3u);
+  EXPECT_EQ(*f.pop(), 1);  // old data survives, new was lost
+}
+
+TEST(Fifo, HighWatermarkTracksDeepestOccupancy) {
+  Fifo<int> f(8);
+  f.try_push(1);
+  f.try_push(2);
+  f.try_push(3);
+  f.pop();
+  f.pop();
+  EXPECT_EQ(f.high_watermark(), 3u);
+}
+
+TEST(Fifo, StrictPushThrowsWhenFull) {
+  Fifo<int> f(1);
+  f.push(1);
+  EXPECT_THROW(f.push(2), std::runtime_error);
+}
+
+TEST(Fifo, ZeroCapacityRejected) {
+  EXPECT_THROW(Fifo<int>(0), std::invalid_argument);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBelowRespectsBound) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_below(17), 17u);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+  Xoshiro256 rng(11);
+  const double p = 0.2;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(p));
+  const double mean = sum / n;  // E = (1-p)/p = 4
+  EXPECT_NEAR(mean, 4.0, 0.15);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Xoshiro256 rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Zipf, HeavyHeadOrdering) {
+  Xoshiro256 rng(5);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(Zipf, CoversSupport) {
+  Xoshiro256 rng(6);
+  ZipfSampler zipf(4, 1.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.sample(rng)];
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Stats, SamplerSummary) {
+  Sampler s;
+  s.record(1.0);
+  s.record(3.0);
+  s.record(2.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Stats, PercentileNearestRank) {
+  Sampler s;
+  for (int i = 1; i <= 100; ++i) s.record(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Stats, RegistryCountersAccumulate) {
+  StatsRegistry reg;
+  reg.counter("x").add();
+  reg.counter("x").add(4);
+  EXPECT_EQ(reg.counter("x").value(), 5u);
+  reg.reset();
+  EXPECT_EQ(reg.counter("x").value(), 0u);
+}
+
+}  // namespace
+}  // namespace rtad::sim
