@@ -3,12 +3,14 @@
 // Shows where ELM and LSTM inference stop scaling (Amdahl: single-workgroup
 // reduction/score stages), explaining the paper's 3.28x / 2.22x engine
 // speedups and the choice of five CUs.
+// The per-CU-count measurements are independent simulations (each builds
+// its own Gpu), so they fan out across the experiment runner (RTAD_JOBS).
 #include <iostream>
 
+#include "rtad/core/experiment_runner.hpp"
 #include "rtad/core/report.hpp"
 #include "rtad/ml/dataset.hpp"
 #include "rtad/ml/kernel_compiler.hpp"
-#include "rtad/sim/rng.hpp"
 #include "rtad/workloads/spec_model.hpp"
 
 using namespace rtad;
@@ -34,37 +36,50 @@ std::uint64_t inference_cycles(const ml::ModelImage& image,
 int main() {
   std::cout << "ABLATION: INFERENCE LATENCY vs CU COUNT (GPU cycles @50 MHz)\n\n";
 
-  // ELM (320 hidden = 5 slices).
+  core::ExperimentRunner runner;
+
+  // The two trainings are independent: run them as competing pool tasks.
   const auto& profile = workloads::find_profile("gcc");
   ml::DatasetBuilder builder(profile, 11);
-  auto windows = builder.collect_elm(260);
-  ml::ElmConfig ecfg;
-  ecfg.input_dim = builder.config().elm_vocab;
-  ml::Elm elm(ecfg);
-  elm.train(windows.windows);
-  const auto elm_image =
-      ml::compile_elm(elm, ml::Threshold(1e9f), builder.config().elm_window);
-  std::vector<std::uint32_t> elm_payload(builder.config().elm_vocab, 1);
+  auto elm_training = runner.pool().submit([&builder] {
+    auto windows = builder.collect_elm(260);
+    ml::ElmConfig ecfg;
+    ecfg.input_dim = builder.config().elm_vocab;
+    ml::Elm elm(ecfg);
+    elm.train(windows.windows);
+    return ml::compile_elm(elm, ml::Threshold(1e9f),
+                           builder.config().elm_window);
+  });
+  auto lstm_training = runner.pool().submit([] {
+    ml::LstmConfig lcfg;
+    lcfg.epochs = 2;
+    ml::Lstm lstm(lcfg);
+    std::vector<std::uint32_t> tokens;
+    for (int i = 0; i < 1'500; ++i) {
+      tokens.push_back(static_cast<std::uint32_t>(i % 9));
+    }
+    lstm.train(tokens);
+    return ml::compile_lstm(lstm, ml::Threshold(1e9f), 0.0f);
+  });
+  const auto elm_image = elm_training.get();
+  const auto lstm_image = lstm_training.get();
+  const std::vector<std::uint32_t> elm_payload(builder.config().elm_vocab, 1);
 
-  // LSTM.
-  ml::LstmConfig lcfg;
-  lcfg.epochs = 2;
-  ml::Lstm lstm(lcfg);
-  std::vector<std::uint32_t> tokens;
-  sim::Xoshiro256 rng(7);
-  for (int i = 0; i < 1'500; ++i) {
-    tokens.push_back(static_cast<std::uint32_t>(i % 9));
-  }
-  lstm.train(tokens);
-  const auto lstm_image = ml::compile_lstm(lstm, ml::Threshold(1e9f), 0.0f);
+  // Sweep CU counts 1..6 for both models in parallel; index i maps to
+  // (cus = i/2 + 1, model = i%2) so results come back in table order.
+  const auto sweep = runner.run_indexed(12, [&](std::size_t i) {
+    const auto cus = static_cast<std::uint32_t>(i / 2 + 1);
+    return i % 2 == 0 ? inference_cycles(elm_image, cus, elm_payload)
+                      : inference_cycles(lstm_image, cus, {3u});
+  });
 
   core::Table table({"CUs", "ELM cycles", "ELM us", "ELM speedup",
                      "LSTM cycles", "LSTM us", "LSTM speedup"});
-  const auto elm_1 = inference_cycles(elm_image, 1, elm_payload);
-  const auto lstm_1 = inference_cycles(lstm_image, 1, {3u});
+  const auto elm_1 = sweep[0];
+  const auto lstm_1 = sweep[1];
   for (std::uint32_t cus = 1; cus <= 6; ++cus) {
-    const auto e = inference_cycles(elm_image, cus, elm_payload);
-    const auto l = inference_cycles(lstm_image, cus, {3u});
+    const auto e = sweep[(cus - 1) * 2];
+    const auto l = sweep[(cus - 1) * 2 + 1];
     table.add_row({std::to_string(cus), core::fmt_count(e),
                    core::fmt(static_cast<double>(e) / 50.0, 1),
                    core::fmt(static_cast<double>(elm_1) / e, 2) + "x",

@@ -4,9 +4,13 @@
 // training: ELM solves one ridge system, the MLP backpropagates through
 // both layers. We compare training cost, detection quality and deployed
 // inference latency (identical kernels => identical latency).
+// The two trainings and the two deployed-latency simulations are
+// independent, so each pair races across the experiment runner's pool
+// (RTAD_JOBS); the reported train times are per-task wall-clock.
 #include <chrono>
 #include <iostream>
 
+#include "rtad/core/experiment_runner.hpp"
 #include "rtad/core/report.hpp"
 #include "rtad/ml/dataset.hpp"
 #include "rtad/ml/kernel_compiler.hpp"
@@ -68,21 +72,28 @@ int main() {
   std::vector<ml::Vector> val(data.windows.begin() + 400, data.windows.end());
   const std::uint32_t d = builder.config().elm_vocab;
 
-  // --- train both ---
+  // --- train both, concurrently ---
+  core::ExperimentRunner runner;
   ml::ElmConfig ecfg;
   ecfg.input_dim = d;
   ml::Elm elm(ecfg);
-  auto t0 = std::chrono::steady_clock::now();
-  elm.train(train);
-  const double elm_train_ms = ms_since(t0);
-
   ml::MlpConfig mcfg;
   mcfg.input_dim = d;
   mcfg.hidden = ecfg.hidden;
   ml::Mlp mlp(mcfg);
-  t0 = std::chrono::steady_clock::now();
-  mlp.train(train);
-  const double mlp_train_ms = ms_since(t0);
+
+  auto elm_task = runner.pool().submit([&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    elm.train(train);
+    return ms_since(t0);
+  });
+  auto mlp_task = runner.pool().submit([&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    mlp.train(train);
+    return ms_since(t0);
+  });
+  const double elm_train_ms = elm_task.get();
+  const double mlp_train_ms = mlp_task.get();
 
   // --- calibrate + evaluate detection quality ---
   auto evaluate = [&](auto& model) {
@@ -111,8 +122,11 @@ int main() {
       ml::compile_elm(elm, elm_thr, builder.config().elm_window);
   const auto mlp_image =
       ml::compile_mlp(mlp, mlp_thr, builder.config().elm_window);
-  const auto elm_cycles = device_latency_cycles(elm_image, d);
-  const auto mlp_cycles = device_latency_cycles(mlp_image, d);
+  const auto cycles = runner.run_indexed(2, [&](std::size_t i) {
+    return device_latency_cycles(i == 0 ? elm_image : mlp_image, d);
+  });
+  const auto elm_cycles = cycles[0];
+  const auto mlp_cycles = cycles[1];
 
   core::Table table({"Model", "trained params", "train time (ms)",
                      "TPR", "FPR", "ML-MIAOW cycles/inference"});

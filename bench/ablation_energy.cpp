@@ -7,11 +7,13 @@
 //   2. the shipped configurations (MIAOW 1 CU vs ML-MIAOW 5 CUs): the
 //      trimmed engine finishes ~2-4x sooner, so even with 5x the CU count
 //      it burns comparable-or-less energy per inference.
+// The three engine configurations are independent simulations and run
+// concurrently on the experiment runner's pool (RTAD_JOBS).
 #include <iostream>
 
+#include "rtad/core/experiment_runner.hpp"
 #include "rtad/core/report.hpp"
 #include "rtad/ml/kernel_compiler.hpp"
-#include "rtad/sim/rng.hpp"
 #include "rtad/trim/area_model.hpp"
 
 using namespace rtad;
@@ -60,9 +62,18 @@ int main() {
   lstm.train(tokens);
   const auto image = ml::compile_lstm(lstm, ml::Threshold(1e9f), 0.0f);
 
-  const auto miaow_1 = run_engine(image, 1, false);
-  const auto trimmed_1 = run_engine(image, 1, true);
-  const auto ml_miaow_5 = run_engine(image, 5, true);
+  core::ExperimentRunner runner;
+  struct EngineSpec {
+    std::uint32_t num_cus;
+    bool trimmed;
+  };
+  const EngineSpec specs[] = {{1, false}, {1, true}, {5, true}};
+  const auto runs = runner.run_indexed(3, [&](std::size_t i) {
+    return run_engine(image, specs[i].num_cus, specs[i].trimmed);
+  });
+  const auto& miaow_1 = runs[0];
+  const auto& trimmed_1 = runs[1];
+  const auto& ml_miaow_5 = runs[2];
 
   core::Table table({"Engine", "cycles", "latency (us)", "dynamic (nJ)",
                      "leakage (nJ)", "total (nJ)"});

@@ -1,19 +1,24 @@
 // Fig. 8 — Latencies of anomaly detection across the SPEC CINT2006 suite,
 // for {ELM, LSTM} x {MIAOW (1 CU), ML-MIAOW (5 CUs)}.
 //
-// For each benchmark: train both models on its normal trace, deploy them on
-// both engines, emulate attacks by injecting legitimate branch data
-// (monitored call targets / valid syscalls) and measure the time from the
-// first aberrant branch retiring to the MCM interrupt.
+// For each benchmark: train both models once on its normal trace, deploy
+// the same images on both engines, emulate attacks by injecting legitimate
+// branch data (monitored call targets / valid syscalls) and measure the
+// time from the first aberrant branch retiring to the MCM interrupt.
+//
+// The full matrix fans out across an ExperimentRunner pool; results are
+// aggregated in submission order, so stdout is byte-identical for any
+// RTAD_JOBS value. Per-cell wall-clock/simulated-time costs go to stderr.
 //
 // Environment knobs: RTAD_FIG8_BENCHMARKS="gcc,mcf" restricts the suite;
-// RTAD_FIG8_ATTACKS=N sets attacks per configuration (default 8).
+// RTAD_FIG8_ATTACKS=N sets attacks per configuration (default 8);
+// RTAD_JOBS=N sets worker count (default: hardware concurrency).
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <vector>
 
-#include "rtad/core/experiment.hpp"
+#include "rtad/core/experiment_runner.hpp"
 #include "rtad/core/report.hpp"
 
 using namespace rtad;
@@ -44,6 +49,25 @@ int main() {
     dopt.attacks = static_cast<std::size_t>(std::atoi(env));
   }
 
+  // Cell order per benchmark: ELM/MIAOW, ELM/ML-MIAOW, LSTM/MIAOW,
+  // LSTM/ML-MIAOW — the table's column order.
+  const auto benchmarks = selected_benchmarks();
+  std::vector<core::DetectionCell> cells;
+  cells.reserve(benchmarks.size() * 4);
+  for (const auto& name : benchmarks) {
+    for (const auto model : {core::ModelKind::kElm, core::ModelKind::kLstm}) {
+      for (const auto engine :
+           {core::EngineKind::kMiaow, core::EngineKind::kMlMiaow}) {
+        cells.push_back({name, model, engine, dopt});
+      }
+    }
+  }
+
+  core::ExperimentRunner runner;
+  std::cerr << "fig8: " << cells.size() << " cells on "
+            << runner.pool().worker_count() << " workers...\n";
+  const auto results = runner.run_detection_matrix(cells);
+
   core::Table table({"Benchmark", "ELM/MIAOW", "ELM/ML-MIAOW", "LSTM/MIAOW",
                      "LSTM/ML-MIAOW", "drops(LSTM/MIAOW)",
                      "drops(LSTM/ML-MIAOW)"});
@@ -59,41 +83,24 @@ int main() {
   };
   Agg elm_miaow, elm_ml, lstm_miaow, lstm_ml;
 
-  core::TrainingOptions topt;
-
-  for (const auto& name : selected_benchmarks()) {
-    const auto& profile = workloads::find_profile(name);
-    std::cout << name << ": training..." << std::flush;
-    const auto models = core::train_models(profile, topt);
-    std::cout << " detecting..." << std::flush;
-
-    const auto em = core::measure_detection(profile, models,
-                                            core::ModelKind::kElm,
-                                            core::EngineKind::kMiaow, dopt);
-    const auto ee = core::measure_detection(profile, models,
-                                            core::ModelKind::kElm,
-                                            core::EngineKind::kMlMiaow, dopt);
-    const auto lm = core::measure_detection(profile, models,
-                                            core::ModelKind::kLstm,
-                                            core::EngineKind::kMiaow, dopt);
-    const auto le = core::measure_detection(profile, models,
-                                            core::ModelKind::kLstm,
-                                            core::EngineKind::kMlMiaow, dopt);
-    std::cout << " done\n" << std::flush;
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    const auto& em = results[b * 4 + 0].detection;
+    const auto& ee = results[b * 4 + 1].detection;
+    const auto& lm = results[b * 4 + 2].detection;
+    const auto& le = results[b * 4 + 3].detection;
 
     elm_miaow.add(em.mean_latency_us);
     elm_ml.add(ee.mean_latency_us);
     lstm_miaow.add(lm.mean_latency_us);
     lstm_ml.add(le.mean_latency_us);
 
-    table.add_row({profile.name, core::fmt(em.mean_latency_us, 1),
+    table.add_row({em.benchmark, core::fmt(em.mean_latency_us, 1),
                    core::fmt(ee.mean_latency_us, 1),
                    core::fmt(lm.mean_latency_us, 1),
                    core::fmt(le.mean_latency_us, 1),
                    core::fmt_count(lm.fifo_drops),
                    core::fmt_count(le.fifo_drops)});
   }
-  std::cout << "\n";
   table.print(std::cout);
 
   std::cout << "\nAverages (us):\n"
@@ -114,5 +121,7 @@ int main() {
                "varies with branch pressure;\n"
             << "FIFO drops concentrate on branch-heavy benchmarks (e.g. "
                "471.omnetpp) with the slower MIAOW engine.\n";
+
+  runner.print_cell_costs(std::cerr, cells, results);
   return 0;
 }

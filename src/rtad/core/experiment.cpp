@@ -1,6 +1,7 @@
 #include "rtad/core/experiment.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace rtad::core {
@@ -169,8 +170,15 @@ DetectionResult measure_detection(const workloads::SpecProfile& profile,
   sim::Picoseconds first_injected_ps = 0;
   sim::Picoseconds detect_ps = 0;
   std::uint64_t false_positives = 0;
+  std::uint64_t score_digest = 14695981039346656037ULL;  // FNV-1a basis
 
   soc.mcm().set_inference_observer([&](const mcm::InferenceRecord& rec) {
+    std::uint32_t score_bits;
+    std::memcpy(&score_bits, &rec.score, sizeof(score_bits));
+    for (int shift = 0; shift < 32; shift += 8) {
+      score_digest ^= (score_bits >> shift) & 0xFFu;
+      score_digest *= 1099511628211ULL;
+    }
     if (attack_live && rec.injected && !saw_injected) {
       saw_injected = true;
       first_injected_ps = rec.event_retired_ps;
@@ -238,6 +246,8 @@ DetectionResult measure_detection(const workloads::SpecProfile& profile,
   result.fifo_drops = soc.mcm().fifo_drops() + soc.igm().drops_at_output();
   result.false_positives = false_positives;
   result.inferences = soc.mcm().inferences_completed();
+  result.score_digest = score_digest;
+  result.simulated_ps = soc.simulator().now();
   return result;
 }
 

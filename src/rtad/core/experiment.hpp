@@ -83,6 +83,12 @@ struct DetectionResult {
   std::uint64_t fifo_drops = 0;       ///< MCM input FIFO overflows (§IV-C)
   std::uint64_t false_positives = 0;  ///< anomaly flags with no attack live
   std::uint64_t inferences = 0;
+  /// FNV-1a over the bit pattern of every inference score, in completion
+  /// order. Two runs of the same cell are equivalent iff digests match —
+  /// this is what the determinism regression test compares across worker
+  /// counts.
+  std::uint64_t score_digest = 0;
+  std::uint64_t simulated_ps = 0;  ///< total simulated time of the run
 };
 
 struct DetectionOptions {

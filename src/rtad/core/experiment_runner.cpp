@@ -1,0 +1,80 @@
+#include "rtad/core/experiment_runner.hpp"
+
+#include "rtad/core/report.hpp"
+#include "rtad/sim/time.hpp"
+
+namespace rtad::core {
+
+TrainedModelCache::TrainedModelCache(TrainingOptions options,
+                                     ProfileResolver resolver)
+    : options_(options),
+      resolver_(resolver ? std::move(resolver) : [](const std::string& name) {
+        return workloads::find_profile(name);
+      }) {}
+
+const TrainedModels& TrainedModelCache::get(const std::string& benchmark) {
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = entries_[benchmark];
+    if (!slot) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  // Training runs outside the map lock so distinct benchmarks train
+  // concurrently; peers of the *same* benchmark block here on the thread
+  // actively training it.
+  std::call_once(entry->once, [&] {
+    entry->models = std::make_unique<const TrainedModels>(
+        train_models(resolver_(benchmark), options_));
+    trainings_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return *entry->models;
+}
+
+ExperimentRunner::ExperimentRunner(std::size_t jobs,
+                                   std::shared_ptr<TrainedModelCache> cache)
+    : cache_(cache ? std::move(cache)
+                   : std::make_shared<TrainedModelCache>()),
+      pool_(jobs) {}
+
+std::vector<CellResult> ExperimentRunner::run_detection_matrix(
+    const std::vector<DetectionCell>& cells) {
+  return run_indexed(cells.size(), [this, &cells](std::size_t i) {
+    const auto& cell = cells[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto& models = cache_->get(cell.benchmark);
+    CellResult out;
+    out.detection = measure_detection(cache_->profile(cell.benchmark), models,
+                                      cell.model, cell.engine, cell.options);
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return out;
+  });
+}
+
+void ExperimentRunner::print_cell_costs(
+    std::ostream& os, const std::vector<DetectionCell>& cells,
+    const std::vector<CellResult>& results) const {
+  Table table({"Benchmark", "Model", "Engine", "sim (ms)", "wall (ms)",
+               "sim/wall", "inferences"});
+  double total_wall_ms = 0.0;
+  for (std::size_t i = 0; i < cells.size() && i < results.size(); ++i) {
+    const auto& r = results[i];
+    const double sim_ms =
+        static_cast<double>(r.detection.simulated_ps) / sim::kPsPerMs;
+    total_wall_ms += r.wall_ms;
+    table.add_row({cells[i].benchmark, to_string(cells[i].model),
+                   to_string(cells[i].engine), fmt(sim_ms, 1),
+                   fmt(r.wall_ms, 1),
+                   fmt(r.wall_ms > 0.0 ? sim_ms / r.wall_ms : 0.0, 3),
+                   fmt_count(r.detection.inferences)});
+  }
+  os << "Per-cell cost (" << pool_.worker_count()
+     << " workers; wall-clock includes any training this cell waited on):\n";
+  table.print(os);
+  os << "Sum of per-cell wall-clock: " << fmt(total_wall_ms / 1000.0, 2)
+     << " s across " << pool_.worker_count() << " workers\n";
+}
+
+}  // namespace rtad::core

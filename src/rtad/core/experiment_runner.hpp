@@ -1,0 +1,139 @@
+// Parallel experiment engine for the paper's evaluation matrix (§IV).
+//
+// Every cell of the benchmark x model x engine matrix is an independent
+// deterministic simulation (each owns its RtadSoc; shared inputs —
+// TrainedModels, the profile catalog, the RTL inventory — are read-only),
+// so the matrix fans out across a work-stealing pool. Two invariants:
+//
+//   1. Train once per benchmark. TrainedModelCache runs LSTM BPTT + the
+//      ELM solve exactly once per benchmark and deploys the same images on
+//      both MIAOW and ML-MIAOW — retraining per engine would double the
+//      dominant cost and is what the serial benches used to do.
+//   2. Results are collected in submission order. Output is byte-identical
+//      for any worker count (RTAD_JOBS=1 vs =N); only wall-clock differs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rtad/core/experiment.hpp"
+#include "rtad/sim/thread_pool.hpp"
+
+namespace rtad::core {
+
+/// Train-once-per-benchmark cache. Safe for concurrent get(): the first
+/// caller of a benchmark trains inline on its own thread (call_once);
+/// peers needing the same benchmark block on that running training, never
+/// on a queued task, so pool workers cannot deadlock.
+class TrainedModelCache {
+ public:
+  /// Maps a benchmark name to the profile to train/run with. The default
+  /// is workloads::find_profile; tests substitute trimmed profiles (e.g.
+  /// capped syscall intervals) without touching the global catalog.
+  using ProfileResolver =
+      std::function<workloads::SpecProfile(const std::string&)>;
+
+  explicit TrainedModelCache(TrainingOptions options = {},
+                             ProfileResolver resolver = {});
+
+  /// The profile a benchmark name resolves to (shared by training here and
+  /// the detection runs in ExperimentRunner).
+  workloads::SpecProfile profile(const std::string& benchmark) const {
+    return resolver_(benchmark);
+  }
+
+  /// Models for `benchmark` (a name accepted by the resolver). The
+  /// reference stays valid for the cache's lifetime.
+  const TrainedModels& get(const std::string& benchmark);
+
+  /// Number of actual train_models() executions (== distinct benchmarks).
+  std::size_t trainings() const noexcept {
+    return trainings_.load(std::memory_order_relaxed);
+  }
+
+  const TrainingOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<const TrainedModels> models;
+  };
+
+  TrainingOptions options_;
+  ProfileResolver resolver_;
+  mutable std::mutex mutex_;  ///< guards the map; entries train unlocked
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  std::atomic<std::size_t> trainings_{0};
+};
+
+/// One cell of the detection matrix (Fig. 8 and the ablations).
+struct DetectionCell {
+  std::string benchmark;
+  ModelKind model = ModelKind::kLstm;
+  EngineKind engine = EngineKind::kMlMiaow;
+  DetectionOptions options{};
+};
+
+/// A cell's outcome plus cost accounting. `detection` (and the simulated
+/// time inside it) is deterministic; `wall_ms` is host time and must never
+/// be printed into byte-stable output (the benches route it to stderr).
+struct CellResult {
+  DetectionResult detection;
+  double wall_ms = 0.0;
+};
+
+class ExperimentRunner {
+ public:
+  /// `jobs == 0` resolves via RTAD_JOBS / hardware_concurrency. Pass a
+  /// cache to share trained models across runners (the determinism test
+  /// runs the same matrix at several worker counts on one cache).
+  explicit ExperimentRunner(std::size_t jobs = 0,
+                            std::shared_ptr<TrainedModelCache> cache = {});
+
+  sim::ThreadPool& pool() noexcept { return pool_; }
+  TrainedModelCache& cache() noexcept { return *cache_; }
+
+  /// Fan the cells across the pool. results[i] corresponds to cells[i]
+  /// regardless of completion order or worker count.
+  std::vector<CellResult> run_detection_matrix(
+      const std::vector<DetectionCell>& cells);
+
+  /// Generic deterministic fan-out: out[i] = fn(i), submission order.
+  /// For bench stages that are not detection cells (offline inference
+  /// sweeps, competing trainings).
+  template <typename Fn>
+  auto run_indexed(std::size_t n, Fn fn)
+      -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+    using R = std::invoke_result_t<Fn, std::size_t>;
+    std::vector<std::future<R>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(pool_.submit([fn, i] { return fn(i); }));
+    }
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  }
+
+  /// Per-cell cost table (simulated ms, wall ms, speed ratio, inferences)
+  /// via core::Table. Wall-clock is non-deterministic, so benches print
+  /// this to stderr to keep stdout byte-identical across RTAD_JOBS.
+  void print_cell_costs(std::ostream& os,
+                        const std::vector<DetectionCell>& cells,
+                        const std::vector<CellResult>& results) const;
+
+ private:
+  std::shared_ptr<TrainedModelCache> cache_;
+  sim::ThreadPool pool_;
+};
+
+}  // namespace rtad::core

@@ -6,14 +6,31 @@
 namespace rtad::sim {
 
 double Sampler::percentile(double q) const {
-  if (samples_.empty()) return 0.0;
+  // Validate before the empty-set early-out: an out-of-range q is a caller
+  // bug regardless of how many samples happen to be recorded.
   if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile out of range");
+  if (samples_.empty()) return 0.0;
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
   const auto n = sorted.size();
   const auto rank = static_cast<std::size_t>(
       std::ceil(q / 100.0 * static_cast<double>(n)));
   return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+void Sampler::merge(const Sampler& other) {
+  if (other.samples_.empty()) return;
+  const bool was_empty = samples_.empty();
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  min_ = was_empty ? other.min_ : std::min(min_, other.min_);
+  max_ = was_empty ? other.max_ : std::max(max_, other.max_);
+}
+
+void StatsRegistry::merge(const StatsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
+  for (const auto& [name, s] : other.samplers_) samplers_[name].merge(s);
 }
 
 void StatsRegistry::reset() {

@@ -16,6 +16,9 @@ class Counter {
   void add(std::uint64_t n = 1) noexcept { value_ += n; }
   std::uint64_t value() const noexcept { return value_; }
   void reset() noexcept { value_ = 0; }
+  /// Fold another counter in (aggregating per-run stats after a parallel
+  /// experiment fan-out).
+  void merge(const Counter& other) noexcept { value_ += other.value_; }
 
  private:
   std::uint64_t value_ = 0;
@@ -41,8 +44,16 @@ class Sampler {
   double min() const noexcept { return samples_.empty() ? 0.0 : min_; }
   double max() const noexcept { return samples_.empty() ? 0.0 : max_; }
 
-  /// Exact percentile (q in [0,100]) by nearest-rank.
+  /// Exact percentile (q in [0,100]) by nearest-rank: the smallest sample
+  /// such that at least q% of the set is <= it; q=0 maps to the minimum.
+  /// Throws std::invalid_argument for q outside [0,100] (even when empty);
+  /// returns 0.0 on an empty sampler like the other accessors.
   double percentile(double q) const;
+
+  /// Fold another sampler's samples in, as if its record() calls had
+  /// happened here (append order: this sampler's samples first). Used to
+  /// aggregate per-cell samplers in submission order after a parallel run.
+  void merge(const Sampler& other);
 
   void reset() {
     samples_.clear();
@@ -73,6 +84,9 @@ class StatsRegistry {
   }
 
   void reset();
+  /// Fold another registry in: counters add, samplers append. Names only
+  /// present in `other` are created.
+  void merge(const StatsRegistry& other);
   void dump(std::ostream& os) const;
 
  private:

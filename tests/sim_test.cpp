@@ -237,6 +237,102 @@ TEST(Stats, PercentileNearestRank) {
   EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
 }
 
+TEST(Stats, PercentileEmptySamplerIsZeroButStillValidatesQ) {
+  Sampler s;
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+  // Out-of-range q is a caller bug even with no samples recorded.
+  EXPECT_THROW(s.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(100.1), std::invalid_argument);
+}
+
+TEST(Stats, PercentileSingleSampleIsThatSampleEverywhere) {
+  Sampler s;
+  s.record(7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.5);
+}
+
+TEST(Stats, PercentileBoundariesHitMinAndMax) {
+  Sampler s;
+  s.record(40.0);
+  s.record(10.0);
+  s.record(30.0);
+  s.record(20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  // Nearest-rank on n=4: q=25 -> rank ceil(1)=1 -> first sorted sample;
+  // q just above 25 must move to the second.
+  EXPECT_DOUBLE_EQ(s.percentile(25), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.01), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(75), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(75.01), 40.0);
+}
+
+TEST(Stats, SamplerMergeCombinesAndResetClears) {
+  Sampler a, b;
+  a.record(2.0);
+  a.record(4.0);
+  b.record(1.0);
+  b.record(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 16.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.percentile(100), 9.0);
+
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  // Recording after a post-merge reset starts a fresh min/max window.
+  a.record(5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Stats, SamplerMergeIntoEmptyAdoptsExtremes) {
+  Sampler a, b;
+  b.record(-3.0);
+  b.record(8.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+  // Merging an empty sampler is a no-op (does not drag min toward 0).
+  Sampler empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+}
+
+TEST(Stats, CounterMergeAddsAndResetClears) {
+  Counter a, b;
+  a.add(3);
+  b.add(4);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 7u);
+  a.reset();
+  EXPECT_EQ(a.value(), 0u);
+  a.add();
+  EXPECT_EQ(a.value(), 1u);
+}
+
+TEST(Stats, RegistryMergeCreatesAndAccumulates) {
+  StatsRegistry a, b;
+  a.counter("shared").add(1);
+  b.counter("shared").add(2);
+  b.counter("only_b").add(5);
+  b.sampler("lat").record(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter("shared").value(), 3u);
+  EXPECT_EQ(a.counter("only_b").value(), 5u);
+  EXPECT_EQ(a.sampler("lat").count(), 1u);
+}
+
 TEST(Stats, GeometricMean) {
   EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
   EXPECT_THROW(geometric_mean({1.0, 0.0}), std::invalid_argument);
