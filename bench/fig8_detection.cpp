@@ -11,8 +11,17 @@
 // RTAD_JOBS value. Per-cell wall-clock/simulated-time costs go to stderr.
 //
 // Environment knobs: RTAD_FIG8_BENCHMARKS="gcc,mcf" restricts the suite;
+// RTAD_FIG8_MODELS="elm,lstm" and RTAD_FIG8_ENGINES="miaow,ml-miaow"
+// restrict the matrix columns (the summary lines adapt: engine-speedup
+// ratios need both engines, the overall line needs the full matrix);
 // RTAD_FIG8_ATTACKS=N sets attacks per configuration (default 8);
-// RTAD_JOBS=N sets worker count (default: hardware concurrency).
+// RTAD_JOBS=N sets worker count (default: hardware concurrency);
+// RTAD_FIG8_FAST_TRAIN=1 shrinks the training corpus so CI perf smokes are
+// dominated by simulation, not host-side model training (the resulting
+// latencies are still deterministic, just trained on fewer tokens);
+// RTAD_SCHED=dense|event selects the simulation kernel — stdout is
+// byte-identical either way, scheduler statistics go to stderr.
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -25,18 +34,70 @@ using namespace rtad;
 
 namespace {
 
+std::vector<std::string> csv_items(const char* env) {
+  std::vector<std::string> items;
+  std::stringstream ss(env);
+  std::string item;
+  while (std::getline(ss, item, ',')) items.push_back(item);
+  return items;
+}
+
 std::vector<std::string> selected_benchmarks() {
   if (const char* env = std::getenv("RTAD_FIG8_BENCHMARKS")) {
     std::vector<std::string> names;
-    std::stringstream ss(env);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
+    for (const auto& item : csv_items(env)) {
       names.push_back(workloads::find_profile(item).name);
     }
     return names;
   }
   return workloads::spec_names();
 }
+
+std::vector<core::ModelKind> selected_models() {
+  if (const char* env = std::getenv("RTAD_FIG8_MODELS")) {
+    std::vector<core::ModelKind> models;
+    for (const auto& item : csv_items(env)) {
+      if (item == "elm") {
+        models.push_back(core::ModelKind::kElm);
+      } else if (item == "lstm") {
+        models.push_back(core::ModelKind::kLstm);
+      } else {
+        std::cerr << "fig8: unknown model '" << item << "' (elm|lstm)\n";
+        std::exit(2);
+      }
+    }
+    if (!models.empty()) return models;
+  }
+  return {core::ModelKind::kElm, core::ModelKind::kLstm};
+}
+
+std::vector<core::EngineKind> selected_engines() {
+  if (const char* env = std::getenv("RTAD_FIG8_ENGINES")) {
+    std::vector<core::EngineKind> engines;
+    for (const auto& item : csv_items(env)) {
+      if (item == "miaow") {
+        engines.push_back(core::EngineKind::kMiaow);
+      } else if (item == "ml-miaow") {
+        engines.push_back(core::EngineKind::kMlMiaow);
+      } else {
+        std::cerr << "fig8: unknown engine '" << item << "' (miaow|ml-miaow)\n";
+        std::exit(2);
+      }
+    }
+    if (!engines.empty()) return engines;
+  }
+  return {core::EngineKind::kMiaow, core::EngineKind::kMlMiaow};
+}
+
+struct Agg {
+  double sum = 0;
+  std::size_t n = 0;
+  void add(double v) {
+    sum += v;
+    ++n;
+  }
+  double mean() const { return n == 0 ? 0.0 : sum / static_cast<double>(n); }
+};
 
 }  // namespace
 
@@ -49,75 +110,142 @@ int main() {
     dopt.attacks = static_cast<std::size_t>(std::atoi(env));
   }
 
-  // Cell order per benchmark: ELM/MIAOW, ELM/ML-MIAOW, LSTM/MIAOW,
-  // LSTM/ML-MIAOW — the table's column order.
+  // Cell order per benchmark is model-major: ELM/MIAOW, ELM/ML-MIAOW,
+  // LSTM/MIAOW, LSTM/ML-MIAOW in the full matrix — the table's column
+  // order.
   const auto benchmarks = selected_benchmarks();
+  const auto models = selected_models();
+  const auto engines = selected_engines();
+  const std::size_t stride = models.size() * engines.size();
   std::vector<core::DetectionCell> cells;
-  cells.reserve(benchmarks.size() * 4);
+  cells.reserve(benchmarks.size() * stride);
   for (const auto& name : benchmarks) {
-    for (const auto model : {core::ModelKind::kElm, core::ModelKind::kLstm}) {
-      for (const auto engine :
-           {core::EngineKind::kMiaow, core::EngineKind::kMlMiaow}) {
+    for (const auto model : models) {
+      for (const auto engine : engines) {
         cells.push_back({name, model, engine, dopt});
       }
     }
   }
 
-  core::ExperimentRunner runner;
+  std::shared_ptr<core::TrainedModelCache> cache;
+  if (const char* env = std::getenv("RTAD_FIG8_FAST_TRAIN");
+      env != nullptr && env[0] == '1') {
+    core::TrainingOptions fast;
+    fast.lstm_train_tokens = 400;
+    fast.lstm_val_tokens = 150;
+    fast.elm_train_windows = 100;
+    fast.elm_val_windows = 40;
+    fast.lstm.epochs = 1;
+    cache = std::make_shared<core::TrainedModelCache>(fast);
+  }
+
+  // With a fast-train cache, pre-warm every benchmark's models before the
+  // matrix so the timed region below is pure simulation. Training is
+  // identical host-side work under either scheduler kernel; keeping it out
+  // of matrix_wall_ms lets the perf smoke compare the kernels themselves.
+  if (cache) {
+    for (const auto& name : benchmarks) cache->get(name);
+  }
+
+  core::ExperimentRunner runner(0, cache);
   std::cerr << "fig8: " << cells.size() << " cells on "
             << runner.pool().worker_count() << " workers...\n";
+  const auto matrix_start = std::chrono::steady_clock::now();
   const auto results = runner.run_detection_matrix(cells);
+  const auto matrix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - matrix_start)
+                             .count();
+  // Diagnostics only (stdout stays byte-identical across kernels).
+  std::cerr << "fig8: matrix_wall_ms=" << matrix_ms << "\n";
 
-  core::Table table({"Benchmark", "ELM/MIAOW", "ELM/ML-MIAOW", "LSTM/MIAOW",
-                     "LSTM/ML-MIAOW", "drops(LSTM/MIAOW)",
-                     "drops(LSTM/ML-MIAOW)"});
+  std::uint64_t skipped_groups = 0;
+  std::uint64_t skipped_cycles = 0;
+  for (const auto& r : results) {
+    skipped_groups += r.detection.skipped_edge_groups;
+    skipped_cycles += r.detection.skipped_cycles;
+  }
+  // Diagnostics only — scheduler mode must never leak into stdout, which
+  // is compared byte-for-byte across kernels by the perf smoke.
+  std::cerr << "fig8: scheduler=" << sim::to_string(sim::default_sched_mode())
+            << " skipped_edge_groups=" << skipped_groups
+            << " skipped_cycles=" << skipped_cycles << "\n";
 
-  struct Agg {
-    double sum = 0;
-    std::size_t n = 0;
-    void add(double v) {
-      sum += v;
-      ++n;
+  std::vector<std::string> headers{"Benchmark"};
+  for (const auto model : models) {
+    for (const auto engine : engines) {
+      headers.push_back(std::string(core::to_string(model)) + "/" +
+                        core::to_string(engine));
     }
-    double mean() const { return n == 0 ? 0.0 : sum / static_cast<double>(n); }
-  };
-  Agg elm_miaow, elm_ml, lstm_miaow, lstm_ml;
+  }
+  for (const auto model : models) {
+    if (model != core::ModelKind::kLstm) continue;
+    for (const auto engine : engines) {
+      headers.push_back(std::string("drops(LSTM/") + core::to_string(engine) +
+                        ")");
+    }
+  }
+  core::Table table(headers);
 
+  std::vector<Agg> agg(stride);
   for (std::size_t b = 0; b < benchmarks.size(); ++b) {
-    const auto& em = results[b * 4 + 0].detection;
-    const auto& ee = results[b * 4 + 1].detection;
-    const auto& lm = results[b * 4 + 2].detection;
-    const auto& le = results[b * 4 + 3].detection;
-
-    elm_miaow.add(em.mean_latency_us);
-    elm_ml.add(ee.mean_latency_us);
-    lstm_miaow.add(lm.mean_latency_us);
-    lstm_ml.add(le.mean_latency_us);
-
-    table.add_row({em.benchmark, core::fmt(em.mean_latency_us, 1),
-                   core::fmt(ee.mean_latency_us, 1),
-                   core::fmt(lm.mean_latency_us, 1),
-                   core::fmt(le.mean_latency_us, 1),
-                   core::fmt_count(lm.fifo_drops),
-                   core::fmt_count(le.fifo_drops)});
+    std::vector<std::string> row{benchmarks[b]};
+    std::vector<std::string> drops;
+    for (std::size_t c = 0; c < stride; ++c) {
+      const auto& cell = results[b * stride + c].detection;
+      agg[c].add(cell.mean_latency_us);
+      row.push_back(core::fmt(cell.mean_latency_us, 1));
+      if (cells[b * stride + c].model == core::ModelKind::kLstm) {
+        drops.push_back(core::fmt_count(cell.fifo_drops));
+      }
+    }
+    row.insert(row.end(), drops.begin(), drops.end());
+    table.add_row(row);
   }
   table.print(std::cout);
 
-  std::cout << "\nAverages (us):\n"
-            << "  ELM : MIAOW " << core::fmt(elm_miaow.mean(), 2)
-            << " -> ML-MIAOW " << core::fmt(elm_ml.mean(), 2) << "  ("
-            << core::fmt(elm_miaow.mean() / elm_ml.mean(), 2)
-            << "x; paper: 13.83 -> 4.21 = 3.28x)\n"
-            << "  LSTM: MIAOW " << core::fmt(lstm_miaow.mean(), 2)
-            << " -> ML-MIAOW " << core::fmt(lstm_ml.mean(), 2) << "  ("
-            << core::fmt(lstm_miaow.mean() / lstm_ml.mean(), 2)
-            << "x; paper: 53.16 -> 23.98 = 2.22x)\n";
-  const double overall =
-      (elm_miaow.mean() / elm_ml.mean() + lstm_miaow.mean() / lstm_ml.mean()) /
-      2.0;
-  std::cout << "  Overall engine speedup: " << core::fmt(overall, 2)
-            << "x (paper: 2.75x)\n"
-            << "\nShape checks: ELM nearly constant per benchmark; LSTM "
+  // Per-model engine-speedup summary. The MIAOW -> ML-MIAOW ratio only
+  // exists when both engines ran; the overall line only for the full
+  // matrix (its paper figure averages both models' ratios).
+  const auto mean_for = [&](core::ModelKind model, core::EngineKind engine,
+                            double& out) {
+    for (std::size_t mi = 0; mi < models.size(); ++mi) {
+      for (std::size_t ei = 0; ei < engines.size(); ++ei) {
+        if (models[mi] == model && engines[ei] == engine) {
+          out = agg[mi * engines.size() + ei].mean();
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  std::cout << "\nAverages (us):\n";
+  std::vector<double> ratios;
+  for (const auto model : models) {
+    const char* label = model == core::ModelKind::kElm ? "ELM : " : "LSTM: ";
+    const char* paper = model == core::ModelKind::kElm
+                            ? "13.83 -> 4.21 = 3.28x"
+                            : "53.16 -> 23.98 = 2.22x";
+    double miaow = 0, ml = 0;
+    const bool has_miaow = mean_for(model, core::EngineKind::kMiaow, miaow);
+    const bool has_ml = mean_for(model, core::EngineKind::kMlMiaow, ml);
+    if (has_miaow && has_ml) {
+      ratios.push_back(miaow / ml);
+      std::cout << "  " << label << "MIAOW " << core::fmt(miaow, 2)
+                << " -> ML-MIAOW " << core::fmt(ml, 2) << "  ("
+                << core::fmt(miaow / ml, 2) << "x; paper: " << paper << ")\n";
+    } else if (has_miaow) {
+      std::cout << "  " << label << "MIAOW " << core::fmt(miaow, 2) << "\n";
+    } else if (has_ml) {
+      std::cout << "  " << label << "ML-MIAOW " << core::fmt(ml, 2) << "\n";
+    }
+  }
+  if (ratios.size() == 2) {
+    const double overall = (ratios[0] + ratios[1]) / 2.0;
+    std::cout << "  Overall engine speedup: " << core::fmt(overall, 2)
+              << "x (paper: 2.75x)\n";
+  }
+  std::cout << "\nShape checks: ELM nearly constant per benchmark; LSTM "
                "varies with branch pressure;\n"
             << "FIFO drops concentrate on branch-heavy benchmarks (e.g. "
                "471.omnetpp) with the slower MIAOW engine.\n";

@@ -32,7 +32,7 @@ const Interconnect::Region& Interconnect::route(std::uint64_t addr) const {
 std::uint32_t Interconnect::read32(std::uint64_t addr, std::uint32_t& out) {
   const Region& r = route(addr);
   out = r.slave->read32(addr - r.base);
-  ++transactions_;
+  complete_transaction();
   return timing_.arbitration_cycles + timing_.read_beat_cycles +
          (r.is_ddr ? timing_.ddr_extra_cycles : 0);
 }
@@ -40,7 +40,7 @@ std::uint32_t Interconnect::read32(std::uint64_t addr, std::uint32_t& out) {
 std::uint32_t Interconnect::write32(std::uint64_t addr, std::uint32_t value) {
   const Region& r = route(addr);
   r.slave->write32(addr - r.base, value);
-  ++transactions_;
+  complete_transaction();
   return timing_.arbitration_cycles + timing_.write_beat_cycles +
          (r.is_ddr ? timing_.ddr_extra_cycles : 0);
 }
@@ -55,7 +55,7 @@ std::uint32_t Interconnect::write_burst(std::uint64_t addr,
     for (std::size_t b = 0; b < n; ++b) {
       r.slave->write32(addr + (i + b) * 4 - r.base, beats[i + b]);
     }
-    ++transactions_;
+    complete_transaction();
     cost += timing_.arbitration_cycles +
             static_cast<std::uint32_t>(n) * timing_.write_beat_cycles +
             (r.is_ddr ? timing_.ddr_extra_cycles : 0);
@@ -76,7 +76,7 @@ std::uint32_t Interconnect::read_burst(std::uint64_t addr, std::size_t n_beats,
     for (std::size_t b = 0; b < n; ++b) {
       out.push_back(r.slave->read32(addr + (i + b) * 4 - r.base));
     }
-    ++transactions_;
+    complete_transaction();
     cost += timing_.arbitration_cycles +
             static_cast<std::uint32_t>(n) * timing_.read_beat_cycles +
             (r.is_ddr ? timing_.ddr_extra_cycles : 0);

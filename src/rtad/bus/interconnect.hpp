@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -47,7 +48,20 @@ class Interconnect {
   const BusTiming& timing() const noexcept { return timing_; }
   std::uint64_t transactions() const noexcept { return transactions_; }
 
+  /// Install a hook invoked once per completed AXI transaction (each burst
+  /// split counts separately, mirroring `transactions()`). The consumer of
+  /// a bus-crossing data path registers `request_wake()` here so the event
+  /// scheduler un-blocks its clock domain when a transfer lands.
+  void set_transfer_hook(std::function<void()> hook) {
+    transfer_hook_ = std::move(hook);
+  }
+
  private:
+  void complete_transaction() {
+    ++transactions_;
+    if (transfer_hook_) transfer_hook_();
+  }
+
   struct Region {
     std::string name;
     std::uint64_t base;
@@ -61,6 +75,7 @@ class Interconnect {
   BusTiming timing_;
   std::vector<Region> regions_;
   std::uint64_t transactions_ = 0;
+  std::function<void()> transfer_hook_;
 };
 
 }  // namespace rtad::bus

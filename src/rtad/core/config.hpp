@@ -9,6 +9,7 @@
 #include "rtad/cpu/instrumentation.hpp"
 #include "rtad/igm/igm.hpp"
 #include "rtad/mcm/mcm.hpp"
+#include "rtad/sim/simulator.hpp"
 #include "rtad/workloads/spec_model.hpp"
 
 namespace rtad::core {
@@ -49,6 +50,9 @@ struct SocConfig {
   mcm::McmConfig mcm{};
   std::uint32_t gpu_dispatch_latency = 8;
   std::optional<attack::AttackConfig> attack;
+  /// Scheduling kernel (dense reference vs. idle-aware event-driven);
+  /// overridable per-process with RTAD_SCHED=dense|event.
+  sim::SchedMode sched = sim::default_sched_mode();
 };
 
 }  // namespace rtad::core

@@ -89,6 +89,11 @@ struct DetectionResult {
   /// counts.
   std::uint64_t score_digest = 0;
   std::uint64_t simulated_ps = 0;  ///< total simulated time of the run
+  /// Event-kernel accounting (0 under the dense kernel). Diagnostics only:
+  /// reported on stderr / in BENCH artifacts, never part of the stdout
+  /// byte-identity surface.
+  std::uint64_t skipped_edge_groups = 0;
+  std::uint64_t skipped_cycles = 0;  ///< summed over all clock domains
 };
 
 struct DetectionOptions {
@@ -105,6 +110,9 @@ struct DetectionOptions {
   /// unaffected (syscall interarrival stays far above the inference time,
   /// preserving the paper's "constant ELM latency" property).
   std::uint64_t elm_syscall_interval_cap = 50'000;
+  /// Scheduling kernel for the run (dense reference vs. event-driven);
+  /// results are bit-identical either way — the determinism suite checks.
+  sim::SchedMode sched = sim::default_sched_mode();
 };
 
 DetectionResult measure_detection(const workloads::SpecProfile& profile,

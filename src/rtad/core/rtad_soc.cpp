@@ -36,6 +36,7 @@ RtadSoc::RtadSoc(SocConfig config, const ml::ModelImage* image,
   if (image != nullptr && features == nullptr) {
     throw std::invalid_argument("a model image requires feature tables");
   }
+  sim_.set_mode(config_.sched);
 
   // --- workload + attack path ---
   generator_ = std::make_unique<workloads::TraceGenerator>(config_.profile,
@@ -153,9 +154,13 @@ void RtadSoc::program_igm_tables(const ml::DatasetBuilder& features) {
 void RtadSoc::run_for_instructions(std::uint64_t n,
                                    sim::Picoseconds deadline_ps) {
   const std::uint64_t target = cpu_->program_instructions() + n;
+  // The fence caps instruction-gap skipping so the predicate flips at the
+  // exact edge the dense kernel would stop on.
+  cpu_->set_instruction_fence(target);
   sim_.run_while(
       [this, target] { return cpu_->program_instructions() < target; },
       deadline_ps);
+  cpu_->set_instruction_fence(cpu::HostCpu::kNoFence);
 }
 
 void RtadSoc::run_until(sim::Picoseconds deadline_ps) {

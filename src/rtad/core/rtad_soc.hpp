@@ -58,6 +58,9 @@ class RtadSoc {
   /// Run until predicate or deadline.
   sim::Picoseconds run_while(const std::function<bool()>& keep_going,
                              sim::Picoseconds deadline_ps);
+  /// Fire exactly one edge group on the dense grid (see
+  /// sim::Simulator::step_group). Returns whether a group fired.
+  bool step(sim::Picoseconds deadline_ps) { return sim_.step_group(deadline_ps); }
 
   /// Arm the injector for an attack at an absolute instruction count.
   void arm_attack(std::uint64_t trigger_instruction);

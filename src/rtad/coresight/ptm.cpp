@@ -63,4 +63,32 @@ void Ptm::tick() {
   if (trace_fifo_.empty()) draining_ = false;
 }
 
+sim::WakeHint Ptm::next_wake() const {
+  // Disabled PTM ticks return immediately and touch nothing.
+  if (!config_.enabled) return sim::WakeHint::blocked();
+  if (draining_) return sim::WakeHint::active();
+  if (trace_fifo_.size() >= config_.flush_threshold) {
+    return sim::WakeHint::active();  // next tick starts a drain burst
+  }
+  if (trace_fifo_.empty()) {
+    // Idle ticks only advance cycles_since_drain_; new bytes arrive via
+    // submit() from the CPU in the same domain, which is then active.
+    return sim::WakeHint::blocked();
+  }
+  // Counting down to the periodic drain timeout: the tick that reaches the
+  // timeout does real work, everything before it is ++cycles_since_drain_.
+  const std::uint32_t to_timeout =
+      config_.drain_timeout_cycles > cycles_since_drain_
+          ? config_.drain_timeout_cycles - cycles_since_drain_
+          : 1;
+  if (to_timeout <= 1) return sim::WakeHint::active();
+  return sim::WakeHint::idle_for(to_timeout - 1);
+}
+
+void Ptm::on_cycles_skipped(sim::Cycle n) {
+  // Replays `n` ticks in any skippable state: all of them only increment
+  // the timeout counter (uint32 wrap matches n consecutive ++'s).
+  if (config_.enabled) cycles_since_drain_ += static_cast<std::uint32_t>(n);
+}
+
 }  // namespace rtad::coresight

@@ -56,6 +56,8 @@ class Ptm final : public sim::Component {
 
   void tick() override;
   void reset() override;
+  sim::WakeHint next_wake() const override;
+  void on_cycles_skipped(sim::Cycle n) override;
 
   const PtmConfig& config() const noexcept { return config_; }
   void set_enabled(bool on) noexcept { config_.enabled = on; }

@@ -3,7 +3,10 @@
 namespace rtad::coresight {
 
 Tpiu::Tpiu(sim::Fifo<TraceByte>& source, std::size_t port_fifo_words)
-    : sim::Component("tpiu"), source_(source), port_(port_fifo_words) {}
+    : sim::Component("tpiu"), source_(source), port_(port_fifo_words) {
+  // PTM (CPU domain) -> TPIU (fabric domain) crossing: wake on push.
+  source_.set_wake_hook([this] { request_wake(); });
+}
 
 void Tpiu::reset() {
   port_.clear();

@@ -41,6 +41,14 @@ class Tpiu final : public sim::Component {
   void tick() override;
   void reset() override;
 
+  /// Blocked while there is nothing to format (or nowhere to put it); the
+  /// PTM tx FIFO's wake hook un-blocks the fabric domain on the first byte
+  /// crossing over from the CPU domain.
+  sim::WakeHint next_wake() const override {
+    return (source_.empty() || port_.full()) ? sim::WakeHint::blocked()
+                                             : sim::WakeHint::active();
+  }
+
   std::uint64_t words_emitted() const noexcept { return words_emitted_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "rtad/cpu/host_cpu.hpp"
 
+#include <algorithm>
+
 namespace rtad::cpu {
 
 HostCpu::HostCpu(HostCpuConfig config, StepSource& source, coresight::Ptm* ptm)
@@ -29,6 +31,45 @@ void HostCpu::raise_irq(sim::Picoseconds now_ps) {
   ++irq_count_;
   last_irq_ps_ = now_ps;
   if (irq_handler_) irq_handler_(now_ps);
+  // The handler may have changed observable state while this domain sleeps
+  // through a stall/gap window; force a re-tick so hints are re-collected.
+  request_wake();
+}
+
+sim::WakeHint HostCpu::next_wake() const {
+  // Stall cycles only move the overhead counters; program_instructions is
+  // frozen, so a run_for_instructions fence cannot flip inside the window.
+  if (overhead_stall_ > 0) return sim::WakeHint::idle_for(overhead_stall_);
+
+  // Inside an instruction gap every tick is `--gap_remaining_;
+  // ++program_instructions_;` — replayable — but an installed fence caps
+  // the skip so the edge where program_instructions reaches the fence is
+  // fired for real (m skipped + 1 ticked lands exactly on the target).
+  if (step_valid_ && gap_remaining_ > 0) {
+    std::uint64_t skippable = gap_remaining_;
+    if (instruction_fence_ != kNoFence) {
+      if (instruction_fence_ <= program_instructions_ + 1) {
+        return sim::WakeHint::active();
+      }
+      skippable = std::min<std::uint64_t>(
+          skippable, instruction_fence_ - program_instructions_ - 1);
+    }
+    return sim::WakeHint::idle_for(skippable);
+  }
+
+  // Next tick fetches a fresh step (RNG) or retires a branch: real work.
+  return sim::WakeHint::active();
+}
+
+void HostCpu::on_cycles_skipped(sim::Cycle n) {
+  cycles_ += n;
+  if (overhead_stall_ > 0) {
+    overhead_stall_ -= n;
+    overhead_instructions_ += n;
+  } else {
+    gap_remaining_ -= static_cast<std::uint32_t>(n);
+    program_instructions_ += n;
+  }
 }
 
 void HostCpu::tick() {

@@ -54,6 +54,19 @@ class HostCpu final : public sim::Component {
 
   void tick() override;
   void reset() override;
+  sim::WakeHint next_wake() const override;
+  void on_cycles_skipped(sim::Cycle n) override;
+
+  /// No instruction fence installed (event kernel may skip freely).
+  static constexpr std::uint64_t kNoFence = ~std::uint64_t{0};
+
+  /// Cap event-kernel skipping so `program_instructions()` can be observed
+  /// reaching `target` at the exact edge the dense kernel would stop on.
+  /// RtadSoc::run_for_instructions installs the fence for the duration of
+  /// its run_while loop; kNoFence removes it.
+  void set_instruction_fence(std::uint64_t target) noexcept {
+    instruction_fence_ = target;
+  }
 
   /// Retired *program* instructions (excludes instrumentation overhead).
   std::uint64_t program_instructions() const noexcept {
@@ -104,6 +117,7 @@ class HostCpu final : public sim::Component {
   std::uint64_t irq_count_ = 0;
   std::optional<sim::Picoseconds> last_irq_ps_;
   std::function<void(sim::Picoseconds)> irq_handler_;
+  std::uint64_t instruction_fence_ = kNoFence;
 };
 
 }  // namespace rtad::cpu

@@ -52,6 +52,11 @@ class ComputeUnit {
   /// on this cycle.
   bool tick();
 
+  /// Replay `n` idle cycles in bulk (CU must be idle: an idle tick only
+  /// advances the local cycle counter, which busy_until_cycle deadlines of
+  /// future waves are measured against).
+  void skip_cycles(std::uint64_t n) noexcept { cycle_ += n; }
+
   std::uint64_t cycles() const noexcept { return cycle_; }
   std::uint64_t instructions_issued() const noexcept { return issued_; }
   std::uint32_t id() const noexcept { return cu_id_; }

@@ -53,6 +53,10 @@ void Gpu::launch(const LaunchConfig& launch) {
       launch.waves_per_group == 0 || launch.waves_per_group > 8) {
     throw std::invalid_argument("bad launch configuration");
   }
+  // Launches arrive from the MCM (fabric domain) while this domain may be
+  // asleep with idle edges not yet replayed; catch up before sampling
+  // cycle_ so last_launch_cycles() doesn't absorb the pre-launch sleep.
+  sync_domain();
   program_ = launch.program;
   workgroups_ = launch.workgroups;
   waves_per_group_ = launch.waves_per_group;
@@ -62,6 +66,13 @@ void Gpu::launch(const LaunchConfig& launch) {
   dispatch_cooldown_ = config_.dispatch_latency;
   launch_active_ = true;
   launch_start_cycle_ = cycle_;
+  // The GPU domain sleeps between launches; pull it back onto its edges.
+  request_wake();
+}
+
+void Gpu::on_cycles_skipped(sim::Cycle n) {
+  cycle_ += n;
+  for (auto& cu : cus_) cu->skip_cycles(n);
 }
 
 bool Gpu::idle() const noexcept { return !launch_active_; }
@@ -102,6 +113,7 @@ void Gpu::tick() {
       groups_in_flight_ == 0) {
     launch_active_ = false;
     last_launch_cycles_ = cycle_ - launch_start_cycle_;
+    if (completion_hook_) completion_hook_();
   }
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -48,6 +49,20 @@ class Gpu final : public sim::Component {
   /// One 50 MHz GPU cycle (ticks the dispatcher and every CU).
   void tick() override;
   void reset() override;
+
+  /// Between launches a tick only advances cycle counters (the dispatcher
+  /// and every CU are idle); launch() wakes the domain again.
+  sim::WakeHint next_wake() const override {
+    return launch_active_ ? sim::WakeHint::active() : sim::WakeHint::blocked();
+  }
+  void on_cycles_skipped(sim::Cycle n) override;
+
+  /// Invoked on the tick where the active launch completes — the MCM
+  /// registers its wake-up here so its kWaitDone poll never misses a
+  /// completion while the fabric domain sleeps.
+  void set_completion_hook(std::function<void()> hook) {
+    completion_hook_ = std::move(hook);
+  }
 
   /// Convenience for host-side use (tests, offline verification): run until
   /// idle or `max_cycles`, returning cycles consumed. Throws if the limit
@@ -98,6 +113,7 @@ class Gpu final : public sim::Component {
   std::uint64_t launch_start_cycle_ = 0;
   std::uint64_t last_launch_cycles_ = 0;
   bool launch_active_ = false;
+  std::function<void()> completion_hook_;
 };
 
 }  // namespace rtad::gpgpu

@@ -44,6 +44,20 @@ class Igm final : public sim::Component {
   void tick() override;
   void reset() override;
 
+  /// The whole pipeline is a no-op (modulo the cycle counter) only when
+  /// every stage is starved: the TA has neither a pending word nor port
+  /// data, and both inter-stage FIFOs are empty. Any byte entering the
+  /// TPIU port wakes the fabric domain via its FIFO hook; a full `out()`
+  /// keeps the MCM (same domain) active until it drains.
+  sim::WakeHint next_wake() const override {
+    const bool quiescent =
+        ta_.quiescent() && ta_.out().empty() && p2s_.out().empty();
+    return quiescent ? sim::WakeHint::blocked() : sim::WakeHint::active();
+  }
+
+  /// Skipped ticks only advance the local cycle counter.
+  void on_cycles_skipped(sim::Cycle n) override { cycles_ += n; }
+
   std::uint64_t vectors_out() const noexcept { return vectors_out_; }
   std::uint64_t drops_at_output() const noexcept { return out_.overflows(); }
   sim::Picoseconds local_time_ps() const noexcept {

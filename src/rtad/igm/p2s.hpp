@@ -16,9 +16,17 @@ class P2s final : public sim::Component {
   explicit P2s(sim::Fifo<DecodedBranch>& in, std::size_t out_capacity = 8);
 
   sim::Fifo<DecodedBranch>& out() noexcept { return out_; }
+  const sim::Fifo<DecodedBranch>& out() const noexcept { return out_; }
 
   void tick() override;
   void reset() override;
+
+  /// A tick forwards nothing when the input is empty (the full-output case
+  /// is reported active: the consumer draining `out` un-stalls us within
+  /// the same fabric domain, which a blocked hint could not observe).
+  sim::WakeHint next_wake() const override {
+    return in_.empty() ? sim::WakeHint::blocked() : sim::WakeHint::active();
+  }
 
   std::uint64_t forwarded() const noexcept { return forwarded_; }
 

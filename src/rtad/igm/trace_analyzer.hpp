@@ -24,9 +24,19 @@ class TraceAnalyzer final : public sim::Component {
                 std::size_t out_capacity = 16);
 
   sim::Fifo<DecodedBranch>& out() noexcept { return out_; }
+  const sim::Fifo<DecodedBranch>& out() const noexcept { return out_; }
 
   void tick() override;
   void reset() override;
+
+  /// True when a tick would be a pure no-op: no partially-consumed word and
+  /// nothing waiting on the port. Note this is *not* `out().empty()` — a
+  /// stalled tick (pending word, full output) still counts stall_cycles_.
+  bool quiescent() const noexcept { return !has_pending_ && port_.empty(); }
+
+  sim::WakeHint next_wake() const override {
+    return quiescent() ? sim::WakeHint::blocked() : sim::WakeHint::active();
+  }
 
   std::uint32_t width() const noexcept { return width_; }
   const PftStreamDecoder& decoder() const noexcept { return decoder_; }

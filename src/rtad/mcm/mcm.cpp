@@ -1,5 +1,7 @@
 #include "rtad/mcm/mcm.hpp"
 
+#include <algorithm>
+
 namespace rtad::mcm {
 
 Mcm::Mcm(McmConfig config, igm::Igm& igm, gpgpu::Gpu& gpu)
@@ -9,11 +11,17 @@ Mcm::Mcm(McmConfig config, igm::Igm& igm, gpgpu::Gpu& gpu)
       gpu_(gpu),
       converter_(config.converter),
       driver_(gpu, converter_),
-      input_fifo_(config.fifo_depth) {}
+      input_fifo_(config.fifo_depth) {
+  // Wake the fabric domain when a kernel finishes so the kWaitDone poll
+  // resumes on the next fabric edge after completion.
+  gpu_.set_completion_hook([this] { request_wake(); });
+}
 
 void Mcm::load_model(const ml::ModelImage* image) {
   if (image != nullptr) ml::load_image(gpu_, *image);
   driver_.set_model(image);
+  // A model arriving while kWaitInput slept on "no model" changes the hint.
+  request_wake();
 }
 
 void Mcm::reset() {
@@ -98,6 +106,35 @@ void Mcm::tick() {
       state_ = McmState::kWaitInput;
       break;
     }
+  }
+}
+
+sim::WakeHint Mcm::next_wake() const {
+  // Pending IGM output must be drained next tick regardless of FSM state.
+  if (!igm_.out().empty()) return sim::WakeHint::active();
+  if (stall_cycles_ > 0) return sim::WakeHint::idle_for(stall_cycles_);
+  switch (state_) {
+    case McmState::kWaitInput:
+      // Starved (or no model loaded): new vectors only appear after the IGM
+      // becomes active in this same domain, and load_model() wakes us.
+      if (driver_.model() == nullptr || input_fifo_.empty()) {
+        return sim::WakeHint::blocked();
+      }
+      return sim::WakeHint::active();
+    case McmState::kWaitDone:
+      // driver_.advance() is a pure no-op while the GPU is busy; the
+      // completion hook ends the wait.
+      return gpu_.idle() ? sim::WakeHint::active() : sim::WakeHint::blocked();
+    default:
+      return sim::WakeHint::active();
+  }
+}
+
+void Mcm::on_cycles_skipped(sim::Cycle n) {
+  cycles_ += n;
+  if (stall_cycles_ > 0) {
+    stall_cycles_ -= static_cast<std::uint32_t>(
+        std::min<sim::Cycle>(stall_cycles_, n));
   }
 }
 

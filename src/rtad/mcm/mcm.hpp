@@ -61,6 +61,8 @@ class Mcm final : public sim::Component {
 
   void tick() override;
   void reset() override;
+  sim::WakeHint next_wake() const override;
+  void on_cycles_skipped(sim::Cycle n) override;
 
   McmState state() const noexcept { return state_; }
   std::uint64_t inferences_completed() const noexcept { return completed_; }

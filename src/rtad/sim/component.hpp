@@ -1,6 +1,7 @@
 // Base class for all clocked hardware models.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "rtad/sim/time.hpp"
@@ -8,6 +9,38 @@
 namespace rtad::sim {
 
 class Simulator;
+
+/// A component's scheduling hint for the idle-aware event kernel, returned
+/// from Component::next_wake() after every tick.
+///
+///   * active       — the next tick performs real work; never skip it.
+///   * idle_for(n)  — the next `n` ticks are no-ops except for internal
+///                    counter updates that on_cycles_skipped() can replay
+///                    exactly (e.g. a stall countdown). The scheduler may
+///                    skip up to `n` edges, but may also fire any of them
+///                    early (ticking is always safe; skipping is only the
+///                    optimization).
+///   * blocked      — every future tick is a no-op until an external event
+///                    (FIFO push, IRQ, kernel completion) calls
+///                    request_wake() on this component.
+///
+/// The hint must describe ticks as a pure function of the component's state
+/// at hint time; the scheduler guarantees that state cannot change between
+/// the hint and the skip (same-domain peers did not tick either, and any
+/// cross-domain mutation must go through a wake hook).
+struct WakeHint {
+  /// Sentinel idle count meaning "blocked until an explicit wake".
+  static constexpr Cycle kBlockedCycles = ~Cycle{0};
+
+  Cycle idle_cycles = 0;  ///< 0 = active, kBlockedCycles = blocked
+
+  static constexpr WakeHint active() noexcept { return {0}; }
+  static constexpr WakeHint idle_for(Cycle n) noexcept { return {n}; }
+  static constexpr WakeHint blocked() noexcept { return {kBlockedCycles}; }
+
+  bool is_active() const noexcept { return idle_cycles == 0; }
+  bool is_blocked() const noexcept { return idle_cycles == kBlockedCycles; }
+};
 
 /// A synchronous component: `tick()` is invoked once per rising edge of the
 /// clock domain the component is registered in. Components must only mutate
@@ -30,8 +63,36 @@ class Component {
   /// Synchronous reset; default is a no-op for stateless models.
   virtual void reset() {}
 
+  /// Scheduling hint for the edges after the current one. The default keeps
+  /// legacy components correct: always active, never skipped.
+  virtual WakeHint next_wake() const { return WakeHint::active(); }
+
+  /// Replay `n` skipped edges in bulk. Called by the scheduler before the
+  /// next real tick when it honored an idle_for/blocked hint; the component
+  /// must leave itself in exactly the state `n` consecutive tick() calls
+  /// would have produced (the hint contract guarantees those ticks were
+  /// counter-only no-ops).
+  virtual void on_cycles_skipped(Cycle /*n*/) {}
+
+ protected:
+  /// Wake this component's clock domain at the current simulation time.
+  /// Invoked from cross-domain producers (FIFO push hooks, IRQ lines,
+  /// kernel-completion callbacks) so a blocked consumer never polls. Safe
+  /// to call before the component is attached to a simulator (no-op).
+  void request_wake();
+
+  /// Replay this component's domain up to the edges the dense kernel would
+  /// already have fired at this instant. Call before reading or mutating
+  /// lazily-deferred state from outside the domain (e.g. a cross-domain
+  /// caller sampling a cycle counter); no-op when unattached or dense.
+  void sync_domain();
+
  private:
+  friend class Simulator;
+
   std::string name_;
+  Simulator* sim_ = nullptr;     ///< installed by Simulator::attach
+  std::size_t domain_index_ = 0;
 };
 
 }  // namespace rtad::sim

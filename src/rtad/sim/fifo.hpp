@@ -9,8 +9,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 namespace rtad::sim {
 
@@ -37,7 +39,16 @@ class Fifo {
     }
     items_.push_back(item);
     high_watermark_ = std::max(high_watermark_, items_.size());
+    if (wake_hook_) wake_hook_();
     return true;
+  }
+
+  /// Install a hook invoked after every *accepted* push. The consumer side
+  /// registers `request_wake()` here so the event scheduler un-blocks its
+  /// clock domain the moment data crosses into it (dropped pushes leave the
+  /// occupancy unchanged and wake nobody).
+  void set_wake_hook(std::function<void()> hook) {
+    wake_hook_ = std::move(hook);
   }
 
   /// Push that requires space; throws on overflow. For paths with real
@@ -76,6 +87,7 @@ class Fifo {
   std::uint64_t pushes_ = 0;
   std::uint64_t overflows_ = 0;
   std::size_t high_watermark_ = 0;
+  std::function<void()> wake_hook_;
 };
 
 }  // namespace rtad::sim

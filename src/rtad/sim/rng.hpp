@@ -78,6 +78,29 @@ class Xoshiro256 {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Geometric sampler with a fixed success probability. Caches log1p(-p),
+/// which is loop-invariant across draws; the arithmetic on each uniform
+/// draw is unchanged from Xoshiro256::geometric, so the sampled sequence
+/// is bit-identical — this only removes a transcendental per sample from
+/// trace-generation hot loops.
+class GeometricSampler {
+ public:
+  explicit GeometricSampler(double p) noexcept
+      : p_(p), log1mp_(p > 0.0 && p < 1.0 ? std::log1p(-p) : -1.0) {}
+
+  std::uint64_t sample(Xoshiro256& rng) const noexcept {
+    if (p_ >= 1.0) return 0;
+    if (p_ <= 0.0) return UINT64_MAX;
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    return static_cast<std::uint64_t>(std::log(u) / log1mp_);
+  }
+
+ private:
+  double p_;
+  double log1mp_;
+};
+
 /// Precomputed Zipf(s) sampler over [0, n). Branch-site popularity in real
 /// programs is heavy-tailed; SPEC CINT branch profiles are commonly modeled
 /// as Zipf-like, which is what the workload models use.
@@ -90,12 +113,26 @@ class ZipfSampler {
       cdf_[i] = sum;
     }
     for (auto& c : cdf_) c /= sum;
+    // Bucket index: lookup_[k] = first i with cdf_[i] >= k/kBuckets. With
+    // kBuckets a power of two, u*kBuckets and k/kBuckets are exact, so the
+    // bucket brackets the answer and sample() returns the same index as a
+    // full binary search — it just starts with far tighter bounds.
+    lookup_.resize(kBuckets + 1);
+    std::size_t j = 0;
+    for (std::size_t k = 0; k <= kBuckets; ++k) {
+      const double threshold =
+          static_cast<double>(k) / static_cast<double>(kBuckets);
+      while (j + 1 < cdf_.size() && cdf_[j] < threshold) ++j;
+      lookup_[k] = j;
+    }
   }
 
   std::size_t sample(Xoshiro256& rng) const noexcept {
     const double u = rng.uniform();
-    // Binary search for the first cdf entry >= u.
-    std::size_t lo = 0, hi = cdf_.size() - 1;
+    const auto b = static_cast<std::size_t>(
+        u * static_cast<double>(kBuckets));  // u < 1 => b < kBuckets
+    // Binary search for the first cdf entry >= u, within the bucket bounds.
+    std::size_t lo = lookup_[b], hi = lookup_[b + 1];
     while (lo < hi) {
       const std::size_t mid = (lo + hi) / 2;
       if (cdf_[mid] < u) {
@@ -110,7 +147,9 @@ class ZipfSampler {
   std::size_t size() const noexcept { return cdf_.size(); }
 
  private:
+  static constexpr std::size_t kBuckets = 256;
   std::vector<double> cdf_;
+  std::vector<std::size_t> lookup_;
 };
 
 }  // namespace rtad::sim

@@ -31,7 +31,11 @@ TraceGenerator::TraceGenerator(const SpecProfile& profile, std::uint64_t seed)
       site_zipf_(std::min(profile.phase_window, profile.branch_sites),
                  profile.zipf_skew),
       func_restart_zipf_(function_count(profile), kFuncRestartSkew),
-      syscall_zipf_(profile.syscall_kinds, profile.syscall_zipf_skew) {
+      syscall_zipf_(profile.syscall_kinds, profile.syscall_zipf_skew),
+      gap_geo_(profile.branch_fraction),
+      phase_geo_(1.0 / static_cast<double>(profile.phase_length_branches)),
+      syscall_geo_(1.0 /
+                   static_cast<double>(profile.syscall_interval_instrs)) {
   sites_.reserve(profile_.branch_sites);
   for (std::size_t i = 0; i < profile_.branch_sites; ++i) {
     // ~16-byte average spacing with deterministic jitter; even addresses
@@ -44,12 +48,9 @@ TraceGenerator::TraceGenerator(const SpecProfile& profile, std::uint64_t seed)
   for (std::size_t j = 0; j < n_funcs; ++j) {
     funcs_.push_back(profile_.code_base + 0x8'0000 + j * 256);
   }
-  branches_until_phase_switch_ =
-      1 + rng_.geometric(1.0 / static_cast<double>(
-                                   profile_.phase_length_branches));
-  instrs_until_syscall_ = static_cast<std::int64_t>(
-      1 + rng_.geometric(1.0 / static_cast<double>(
-                                   profile_.syscall_interval_instrs)));
+  branches_until_phase_switch_ = 1 + phase_geo_.sample(rng_);
+  instrs_until_syscall_ =
+      static_cast<std::int64_t>(1 + syscall_geo_.sample(rng_));
 }
 
 std::uint64_t TraceGenerator::sample_site_in_phase() {
@@ -62,17 +63,14 @@ void TraceGenerator::maybe_switch_phase() {
   const std::size_t window = std::min(profile_.phase_window, sites_.size());
   const std::size_t span = sites_.size() > window ? sites_.size() - window : 1;
   phase_offset_ = rng_.uniform_below(span);
-  branches_until_phase_switch_ =
-      1 + rng_.geometric(1.0 / static_cast<double>(
-                                   profile_.phase_length_branches));
+  branches_until_phase_switch_ = 1 + phase_geo_.sample(rng_);
 }
 
 TraceStep TraceGenerator::next() {
   TraceStep step;
   // gap ~ Geometric(f) non-branch instructions, then the branch itself:
   // one branch per 1/f instructions on average.
-  const std::uint32_t gap =
-      static_cast<std::uint32_t>(rng_.geometric(profile_.branch_fraction));
+  const std::uint32_t gap = static_cast<std::uint32_t>(gap_geo_.sample(rng_));
   step.instr_gap = gap;
   instructions_ += gap + 1;  // the branch is an instruction too
   ++branches_;
@@ -86,9 +84,8 @@ TraceStep TraceGenerator::next() {
   if (instrs_until_syscall_ <= 0) {
     ev.kind = cpu::BranchKind::kSyscall;
     ev.target = syscall_address(syscall_zipf_.sample(rng_));
-    instrs_until_syscall_ = static_cast<std::int64_t>(
-        1 + rng_.geometric(1.0 / static_cast<double>(
-                                     profile_.syscall_interval_instrs)));
+    instrs_until_syscall_ =
+        static_cast<std::int64_t>(1 + syscall_geo_.sample(rng_));
     return step;
   }
 

@@ -71,6 +71,9 @@ class TraceGenerator {
   sim::ZipfSampler site_zipf_;        ///< over the phase window
   sim::ZipfSampler func_restart_zipf_;  ///< call-walk restart distribution
   sim::ZipfSampler syscall_zipf_;     ///< over syscall kinds
+  sim::GeometricSampler gap_geo_;     ///< instruction gap between branches
+  sim::GeometricSampler phase_geo_;   ///< branches per execution phase
+  sim::GeometricSampler syscall_geo_;  ///< instructions between syscalls
 
   std::vector<std::uint64_t> sites_;
   std::vector<std::uint64_t> funcs_;

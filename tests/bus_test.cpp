@@ -130,6 +130,23 @@ TEST(Interconnect, BurstSplitsAtAxi3Limit) {
   EXPECT_EQ(bus.transactions(), 2u);
 }
 
+TEST(Interconnect, TransferHookFiresOncePerTransaction) {
+  Interconnect bus;
+  Memory dev(512);
+  bus.map("dev", 0, 512, dev);
+  std::uint64_t hook_calls = 0;
+  bus.set_transfer_hook([&] { ++hook_calls; });
+  bus.write32(0, 1);
+  std::uint32_t v;
+  bus.read32(0, v);
+  std::vector<std::uint32_t> beats(20, 7);  // splits into 16 + 4 beats
+  bus.write_burst(0, beats);
+  std::vector<std::uint32_t> out;
+  bus.read_burst(0, 20, out);
+  EXPECT_EQ(hook_calls, bus.transactions());
+  EXPECT_EQ(hook_calls, 6u);  // 1 + 1 + 2 + 2
+}
+
 TEST(Interconnect, ReadBurstReturnsData) {
   Interconnect bus;
   Memory dev(128);

@@ -104,6 +104,53 @@ TEST(Determinism, RepeatedCellsAreBitIdenticalWithinOneRun) {
   }
 }
 
+TEST(Determinism, EventKernelMatchesDenseBitForBit) {
+  // The dense kernel is the bit-identity reference for the event-driven
+  // scheduler: same fired edges, same timestamps, same scores. Compare
+  // every cell of the matrix across the two kernels, serially.
+  auto cache = shared_cache();
+  for (auto cell : matrix()) {
+    SCOPED_TRACE(cell.benchmark + " model=" +
+                 std::to_string(static_cast<int>(cell.model)) + " engine=" +
+                 std::to_string(static_cast<int>(cell.engine)));
+    cell.options.sched = sim::SchedMode::kDense;
+    const auto dense =
+        measure_detection(cache->profile(cell.benchmark),
+                          cache->get(cell.benchmark), cell.model, cell.engine,
+                          cell.options);
+    cell.options.sched = sim::SchedMode::kEventDriven;
+    const auto event =
+        measure_detection(cache->profile(cell.benchmark),
+                          cache->get(cell.benchmark), cell.model, cell.engine,
+                          cell.options);
+    expect_identical(dense, event);
+    // The event kernel must actually have slept through something, or this
+    // test degenerates into dense-vs-dense.
+    EXPECT_GT(event.skipped_edge_groups, 0u);
+    EXPECT_GT(event.skipped_cycles, 0u);
+    EXPECT_EQ(dense.skipped_edge_groups, 0u);
+  }
+}
+
+TEST(Determinism, EventKernelMatchesDenseThroughThePool) {
+  // Same comparison fanned out across 8 workers: scheduling mode must not
+  // interact with the trained-model cache or result merge order.
+  auto cells = matrix();
+  for (auto& cell : cells) cell.options.sched = sim::SchedMode::kDense;
+  ExperimentRunner dense_runner(8, shared_cache());
+  const auto dense = dense_runner.run_detection_matrix(cells);
+
+  for (auto& cell : cells) cell.options.sched = sim::SchedMode::kEventDriven;
+  ExperimentRunner event_runner(8, shared_cache());
+  const auto event = event_runner.run_detection_matrix(cells);
+
+  ASSERT_EQ(dense.size(), event.size());
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    SCOPED_TRACE("cell=" + std::to_string(i));
+    expect_identical(dense[i].detection, event[i].detection);
+  }
+}
+
 TEST(Determinism, ModelCacheTrainsEachBenchmarkOnce) {
   auto cache = shared_cache();
   // Every preceding test and worker count hit the same benchmark; the

@@ -111,6 +111,234 @@ TEST(Simulator, ThrowsWithNoComponents) {
                std::runtime_error);
 }
 
+TEST(Simulator, AttachToEmptyDomainMidRunClampsNextEdge) {
+  Simulator sim;
+  auto& running = sim.add_clock("running", 250'000'000);  // 4 ns
+  auto& late = sim.add_clock("late", 125'000'000);        // 8 ns
+  TickCounter a("a");
+  sim.attach(running, a);
+  sim.run_until(102'000);
+  // First component lands in a domain that never advanced its edge clock;
+  // its first edge must be the first multiple of the period >= now (104 ns),
+  // not a stale edge in the past.
+  TickCounter b("b");
+  sim.attach(late, b);
+  sim.run_until(120'000);
+  EXPECT_EQ(b.ticks, 3u);  // edges at 104, 112, 120 ns
+  EXPECT_EQ(late.cycles(), 3u);
+}
+
+TEST(Simulator, RunWhileAdvancesNowOnEdgeExhaustion) {
+  Simulator sim;
+  auto& clk = sim.add_clock("clk", 125'000'000);
+  TickCounter c("c");
+  sim.attach(clk, c);
+  const Picoseconds stopped = sim.run_while([] { return true; }, 123'456);
+  EXPECT_EQ(stopped, 123'456u);  // matches run_until semantics
+  EXPECT_EQ(sim.now(), 123'456u);
+}
+
+namespace {
+
+/// Does real work on one tick, then reports idle for `idle_span` cycles.
+class PeriodicWorker final : public Component {
+ public:
+  PeriodicWorker(std::string name, Cycle idle_span)
+      : Component(std::move(name)), idle_span_(idle_span) {}
+  void tick() override { ++ticks; }
+  WakeHint next_wake() const override { return WakeHint::idle_for(idle_span_); }
+  void on_cycles_skipped(Cycle n) override { skipped += n; }
+  std::uint64_t ticks = 0;
+  std::uint64_t skipped = 0;
+
+ private:
+  Cycle idle_span_;
+};
+
+/// Ticks once, then sleeps until an external request_wake().
+class BlockedAfterFirstTick final : public Component {
+ public:
+  explicit BlockedAfterFirstTick(std::string name)
+      : Component(std::move(name)) {}
+  void tick() override { ++ticks; }
+  WakeHint next_wake() const override { return WakeHint::blocked(); }
+  void on_cycles_skipped(Cycle n) override { skipped += n; }
+  std::uint64_t ticks = 0;
+  std::uint64_t skipped = 0;
+};
+
+}  // namespace
+
+TEST(EventScheduler, SkipsIdleCyclesAndReplaysThemExactly) {
+  Simulator sim;
+  sim.set_mode(SchedMode::kEventDriven);
+  auto& clk = sim.add_clock("clk", 125'000'000);  // 8 ns period
+  PeriodicWorker w("w", 9);
+  sim.attach(clk, w);
+  sim.run_until(80 * 8'000);  // 80 edges on the dense grid
+  // Fires at edges 1, 11, 21, ..., 71 (idle_for(9) after each), then the
+  // tail is fast-forwarded: every dense cycle is accounted for.
+  EXPECT_EQ(w.ticks, 8u);
+  EXPECT_EQ(w.skipped, 72u);
+  EXPECT_EQ(clk.cycles(), 80u);
+  EXPECT_EQ(sim.stats().counter("sim.skipped_cycles.clk").value(), 72u);
+  EXPECT_EQ(sim.stats().counter("sim.skipped_edge_groups").value(), 72u);
+}
+
+TEST(EventScheduler, DenseModeNeverSkips) {
+  Simulator sim;
+  sim.set_mode(SchedMode::kDense);
+  auto& clk = sim.add_clock("clk", 125'000'000);
+  PeriodicWorker w("w", 9);
+  sim.attach(clk, w);
+  sim.run_until(80 * 8'000);
+  EXPECT_EQ(w.ticks, 80u);
+  EXPECT_EQ(w.skipped, 0u);
+  EXPECT_EQ(sim.stats().counter("sim.skipped_edge_groups").value(), 0u);
+}
+
+namespace {
+
+/// Pushes `count` items into a FIFO after `delay` warm-up ticks.
+class DelayedProducer final : public Component {
+ public:
+  DelayedProducer(std::string name, Fifo<int>& out, Cycle delay, int count)
+      : Component(std::move(name)), out_(out), delay_(delay), count_(count) {}
+  void tick() override {
+    if (delay_ > 0) {
+      --delay_;
+      return;
+    }
+    if (count_ > 0) {
+      out_.try_push(1);
+      --count_;
+    }
+  }
+  WakeHint next_wake() const override {
+    if (delay_ > 0) return WakeHint::idle_for(delay_);
+    return count_ > 0 ? WakeHint::active() : WakeHint::blocked();
+  }
+  void on_cycles_skipped(Cycle n) override { delay_ -= n; }
+
+ private:
+  Fifo<int>& out_;
+  Cycle delay_;
+  int count_;
+};
+
+/// Pops one item per tick; blocked while its input FIFO is empty.
+class FifoConsumer final : public Component {
+ public:
+  FifoConsumer(std::string name, Fifo<int>& in)
+      : Component(std::move(name)), in_(in) {
+    in_.set_wake_hook([this] { request_wake(); });
+  }
+  void tick() override {
+    ++ticks;
+    if (!in_.empty()) {
+      in_.pop();
+      ++consumed;
+    }
+  }
+  WakeHint next_wake() const override {
+    return in_.empty() ? WakeHint::blocked() : WakeHint::active();
+  }
+  std::uint64_t ticks = 0;
+  std::uint64_t consumed = 0;
+
+ private:
+  Fifo<int>& in_;
+};
+
+}  // namespace
+
+TEST(EventScheduler, FifoPushWakesConsumerAcrossDomains) {
+  Simulator sim;
+  sim.set_mode(SchedMode::kEventDriven);
+  auto& fast = sim.add_clock("fast", 250'000'000);  // 4 ns, producer
+  auto& slow = sim.add_clock("slow", 125'000'000);  // 8 ns, consumer
+  Fifo<int> fifo(8);
+  DelayedProducer prod("prod", fifo, 5, 2);
+  FifoConsumer cons("cons", fifo);
+  sim.attach(fast, prod);
+  sim.attach(slow, cons);
+  sim.run_until(200'000);
+  // Producer pushes at 24 ns (coincident with a sleeping consumer edge:
+  // same-timestamp wake, producer domain fires first) and at 28 ns (the
+  // consumer wakes on its next edge, 32 ns). The consumer's only other
+  // tick is its initial edge at 8 ns, before it first reports blocked.
+  EXPECT_EQ(cons.consumed, 2u);
+  EXPECT_EQ(cons.ticks, 3u);
+  EXPECT_TRUE(fifo.empty());
+  // Both domains slept through the 200 ns window's dense grid.
+  EXPECT_GT(sim.stats().counter("sim.skipped_cycles.fast").value(), 0u);
+  EXPECT_GT(sim.stats().counter("sim.skipped_cycles.slow").value(), 0u);
+}
+
+TEST(EventScheduler, FifoWakeIsEquivalentToDense) {
+  for (const SchedMode mode : {SchedMode::kDense, SchedMode::kEventDriven}) {
+    Simulator sim;
+    sim.set_mode(mode);
+    auto& fast = sim.add_clock("fast", 250'000'000);
+    auto& slow = sim.add_clock("slow", 125'000'000);
+    Fifo<int> fifo(8);
+    DelayedProducer prod("prod", fifo, 5, 2);
+    FifoConsumer cons("cons", fifo);
+    sim.attach(fast, prod);
+    sim.attach(slow, cons);
+    sim.run_until(200'000);
+    EXPECT_EQ(cons.consumed, 2u) << to_string(mode);
+    EXPECT_TRUE(fifo.empty()) << to_string(mode);
+    EXPECT_EQ(slow.cycles(), 25u) << to_string(mode);
+    EXPECT_EQ(fast.cycles(), 50u) << to_string(mode);
+  }
+}
+
+TEST(EventScheduler, RunCyclesOnQuiescentDomainAdvancesExactly) {
+  Simulator sim;
+  sim.set_mode(SchedMode::kEventDriven);
+  auto& clk = sim.add_clock("clk", 125'000'000);
+  BlockedAfterFirstTick b("b");
+  sim.attach(clk, b);
+  sim.run_cycles(clk, 50);
+  EXPECT_EQ(clk.cycles(), 50u);
+  EXPECT_EQ(b.ticks, 1u);  // initial edge only; the rest is replayed
+  EXPECT_EQ(b.skipped, 49u);
+  // A second call starts fully quiescent (no initial active edge at all).
+  sim.run_cycles(clk, 30);
+  EXPECT_EQ(clk.cycles(), 80u);
+  EXPECT_EQ(b.ticks, 1u);
+  EXPECT_EQ(b.skipped, 79u);
+}
+
+TEST(EventScheduler, RequestWakeEndsBlockedSleep) {
+  Simulator sim;
+  sim.set_mode(SchedMode::kEventDriven);
+  auto& fast = sim.add_clock("fast", 250'000'000);
+  auto& slow = sim.add_clock("slow", 125'000'000);
+  Fifo<int> fifo(4);
+  // Producer pushes once at 40 ns then blocks; nothing else is attached to
+  // the fast domain, so after 40 ns both domains are fully quiescent.
+  DelayedProducer prod("prod", fifo, 9, 1);
+  FifoConsumer cons("cons", fifo);
+  sim.attach(fast, prod);
+  sim.attach(slow, cons);
+  sim.run_until(kPsPerMs);  // 1 ms: ~250k dense groups, almost all skipped
+  EXPECT_EQ(cons.consumed, 1u);
+  EXPECT_EQ(slow.cycles(), kPsPerMs / 8'000);
+  EXPECT_GT(sim.stats().counter("sim.skipped_edge_groups").value(), 200'000u);
+}
+
+TEST(Fifo, WakeHookFiresOnAcceptedPushOnly) {
+  Fifo<int> f(2);
+  int wakes = 0;
+  f.set_wake_hook([&] { ++wakes; });
+  EXPECT_TRUE(f.try_push(1));
+  EXPECT_TRUE(f.try_push(2));
+  EXPECT_FALSE(f.try_push(3));  // dropped: occupancy unchanged, no wake
+  EXPECT_EQ(wakes, 2);
+}
+
 TEST(Fifo, PushPopOrder) {
   Fifo<int> f(4);
   EXPECT_TRUE(f.try_push(1));
@@ -216,6 +444,49 @@ TEST(Zipf, CoversSupport) {
   std::vector<int> counts(4, 0);
   for (int i = 0; i < 10000; ++i) ++counts[zipf.sample(rng)];
   for (int c : counts) EXPECT_GT(c, 0);
+}
+
+// The cached-log1p sampler must reproduce Xoshiro256::geometric exactly:
+// workload traces (and therefore every downstream experiment number) are
+// derived from this stream.
+TEST(Rng, GeometricSamplerBitIdenticalToAdHocGeometric) {
+  for (const double p : {0.08, 0.26, 1.0 / 5'000'000.0}) {
+    Xoshiro256 a(77), b(77);
+    const GeometricSampler geo(p);
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_EQ(geo.sample(a), b.geometric(p)) << "p=" << p << " i=" << i;
+    }
+  }
+}
+
+// The bucket index only narrows the binary-search bounds; every draw must
+// land on the same index a full search over the cdf would return.
+TEST(Zipf, BucketIndexBitIdenticalToFullBinarySearch) {
+  const std::size_t n = 137;
+  const double s = 1.15;
+  std::vector<double> cdf(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[i] = sum;
+  }
+  for (auto& c : cdf) c /= sum;
+
+  ZipfSampler zipf(n, s);
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 20000; ++i) {
+    const double u = b.uniform();
+    std::size_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    ASSERT_EQ(zipf.sample(a), lo) << "i=" << i;
+  }
 }
 
 TEST(Stats, SamplerSummary) {

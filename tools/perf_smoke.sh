@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Perf smoke: the event-driven scheduler must (a) produce byte-identical
+# stdout to the dense reference kernel and (b) actually be faster on the
+# fig8 detection workload. Emits BENCH_fig8.json with both wall-clock
+# numbers and the event kernel's skip counters.
+#
+# The speedup is computed on fig8's matrix_wall_ms (the detection matrix
+# itself): with RTAD_FIG8_FAST_TRAIN the bench pre-warms the model cache
+# before the matrix, so model training — identical host-side work under
+# either kernel — stays out of the timed region. Total process walls are
+# still recorded in the JSON for context.
+#
+# Usage: tools/perf_smoke.sh <build-dir> [output-json]
+# Knobs (defaults chosen for CI): RTAD_FIG8_BENCHMARKS, RTAD_FIG8_MODELS,
+# RTAD_FIG8_ENGINES, RTAD_FIG8_ATTACKS, PERF_SMOKE_MIN_SPEEDUP (default 2.0).
+#
+# The default cell selection (hmmer, LSTM/MIAOW) is the workload the event
+# kernel is built for: long 1-CU inferences during which the CPU and fabric
+# domains are provably idle. The other cells are excluded from the timing
+# by default — their wall-clock is dominated by genuine GPU instruction
+# simulation (5 CUs, or ELM's near-continuous short inferences) that no
+# scheduler can skip, which only dilutes the kernel-vs-kernel comparison.
+# Full-matrix dense-vs-event identity is covered by the determinism test
+# suite; this script asserts identity on its own cell too.
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: perf_smoke.sh <build-dir> [output-json]}"
+OUT_JSON="${2:-BENCH_fig8.json}"
+BENCH="${BUILD_DIR}/bench/fig8_detection"
+MIN_SPEEDUP="${PERF_SMOKE_MIN_SPEEDUP:-2.0}"
+
+export RTAD_FIG8_BENCHMARKS="${RTAD_FIG8_BENCHMARKS:-hmmer}"
+export RTAD_FIG8_MODELS="${RTAD_FIG8_MODELS:-lstm}"
+export RTAD_FIG8_ENGINES="${RTAD_FIG8_ENGINES:-miaow}"
+export RTAD_FIG8_ATTACKS="${RTAD_FIG8_ATTACKS:-8}"
+export RTAD_FIG8_FAST_TRAIN="${RTAD_FIG8_FAST_TRAIN:-1}"
+export RTAD_JOBS=1
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+run_mode() {
+  local mode="$1" out="$2" err="$3"
+  local start end
+  start=$(date +%s%N)
+  RTAD_SCHED="${mode}" "${BENCH}" > "${out}" 2> "${err}"
+  end=$(date +%s%N)
+  echo $(( (end - start) / 1000000 ))
+}
+
+echo "perf_smoke: benchmarks=${RTAD_FIG8_BENCHMARKS} models=${RTAD_FIG8_MODELS} engines=${RTAD_FIG8_ENGINES} attacks=${RTAD_FIG8_ATTACKS} fast_train=${RTAD_FIG8_FAST_TRAIN}" >&2
+dense_ms=$(run_mode dense "${workdir}/dense.txt" "${workdir}/dense.err")
+event_ms=$(run_mode event "${workdir}/event.txt" "${workdir}/event.err")
+
+# Byte-identity: the event kernel must not change a single stdout byte.
+if ! cmp -s "${workdir}/dense.txt" "${workdir}/event.txt"; then
+  echo "perf_smoke: FAIL — stdout differs between dense and event kernels" >&2
+  diff "${workdir}/dense.txt" "${workdir}/event.txt" >&2 || true
+  exit 1
+fi
+
+dense_matrix_ms=$(sed -n 's/^fig8: matrix_wall_ms=\([0-9]*\)$/\1/p' "${workdir}/dense.err")
+event_matrix_ms=$(sed -n 's/^fig8: matrix_wall_ms=\([0-9]*\)$/\1/p' "${workdir}/event.err")
+if [ -z "${dense_matrix_ms}" ] || [ -z "${event_matrix_ms}" ]; then
+  echo "perf_smoke: FAIL — bench did not report matrix_wall_ms" >&2
+  cat "${workdir}/event.err" >&2
+  exit 1
+fi
+
+sched_line=$(grep -E '^fig8: scheduler=event' "${workdir}/event.err" || true)
+skipped_groups=$(echo "${sched_line}" | sed -n 's/.*skipped_edge_groups=\([0-9]*\).*/\1/p')
+skipped_cycles=$(echo "${sched_line}" | sed -n 's/.*skipped_cycles=\([0-9]*\).*/\1/p')
+if [ -z "${skipped_groups}" ] || [ "${skipped_groups}" -eq 0 ]; then
+  echo "perf_smoke: FAIL — event kernel reported no skipped edge groups" >&2
+  cat "${workdir}/event.err" >&2
+  exit 1
+fi
+
+speedup=$(awk -v d="${dense_matrix_ms}" -v e="${event_matrix_ms}" \
+  'BEGIN { printf "%.2f", (e > 0 ? d / e : 0) }')
+
+cat > "${OUT_JSON}" <<JSON
+{
+  "benchmark": "fig8_detection",
+  "benchmarks": "${RTAD_FIG8_BENCHMARKS}",
+  "models": "${RTAD_FIG8_MODELS}",
+  "engines": "${RTAD_FIG8_ENGINES}",
+  "attacks_per_cell": ${RTAD_FIG8_ATTACKS},
+  "fast_train": ${RTAD_FIG8_FAST_TRAIN},
+  "dense_wall_ms": ${dense_ms},
+  "event_wall_ms": ${event_ms},
+  "dense_matrix_wall_ms": ${dense_matrix_ms},
+  "event_matrix_wall_ms": ${event_matrix_ms},
+  "speedup": ${speedup},
+  "stdout_identical": true,
+  "event_skipped_edge_groups": ${skipped_groups},
+  "event_skipped_cycles": ${skipped_cycles}
+}
+JSON
+
+echo "perf_smoke: matrix dense=${dense_matrix_ms}ms event=${event_matrix_ms}ms speedup=${speedup}x (min ${MIN_SPEEDUP}x; total dense=${dense_ms}ms event=${event_ms}ms)" >&2
+cat "${OUT_JSON}"
+
+awk -v s="${speedup}" -v m="${MIN_SPEEDUP}" 'BEGIN { exit !(s >= m) }' || {
+  echo "perf_smoke: FAIL — speedup ${speedup}x below minimum ${MIN_SPEEDUP}x" >&2
+  exit 1
+}
