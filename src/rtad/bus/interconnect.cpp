@@ -32,17 +32,21 @@ const Interconnect::Region& Interconnect::route(std::uint64_t addr) const {
 std::uint32_t Interconnect::read32(std::uint64_t addr, std::uint32_t& out) {
   const Region& r = route(addr);
   out = r.slave->read32(addr - r.base);
-  complete_transaction();
-  return timing_.arbitration_cycles + timing_.read_beat_cycles +
-         (r.is_ddr ? timing_.ddr_extra_cycles : 0);
+  const std::uint32_t cost = timing_.arbitration_cycles +
+                             timing_.read_beat_cycles +
+                             (r.is_ddr ? timing_.ddr_extra_cycles : 0);
+  complete_transaction(cost);
+  return cost;
 }
 
 std::uint32_t Interconnect::write32(std::uint64_t addr, std::uint32_t value) {
   const Region& r = route(addr);
   r.slave->write32(addr - r.base, value);
-  complete_transaction();
-  return timing_.arbitration_cycles + timing_.write_beat_cycles +
-         (r.is_ddr ? timing_.ddr_extra_cycles : 0);
+  const std::uint32_t cost = timing_.arbitration_cycles +
+                             timing_.write_beat_cycles +
+                             (r.is_ddr ? timing_.ddr_extra_cycles : 0);
+  complete_transaction(cost);
+  return cost;
 }
 
 std::uint32_t Interconnect::write_burst(std::uint64_t addr,
@@ -55,10 +59,12 @@ std::uint32_t Interconnect::write_burst(std::uint64_t addr,
     for (std::size_t b = 0; b < n; ++b) {
       r.slave->write32(addr + (i + b) * 4 - r.base, beats[i + b]);
     }
-    complete_transaction();
-    cost += timing_.arbitration_cycles +
-            static_cast<std::uint32_t>(n) * timing_.write_beat_cycles +
-            (r.is_ddr ? timing_.ddr_extra_cycles : 0);
+    const std::uint32_t txn_cost =
+        timing_.arbitration_cycles +
+        static_cast<std::uint32_t>(n) * timing_.write_beat_cycles +
+        (r.is_ddr ? timing_.ddr_extra_cycles : 0);
+    complete_transaction(txn_cost);
+    cost += txn_cost;
     i += n;
   }
   return cost;
@@ -76,13 +82,30 @@ std::uint32_t Interconnect::read_burst(std::uint64_t addr, std::size_t n_beats,
     for (std::size_t b = 0; b < n; ++b) {
       out.push_back(r.slave->read32(addr + (i + b) * 4 - r.base));
     }
-    complete_transaction();
-    cost += timing_.arbitration_cycles +
-            static_cast<std::uint32_t>(n) * timing_.read_beat_cycles +
-            (r.is_ddr ? timing_.ddr_extra_cycles : 0);
+    const std::uint32_t txn_cost =
+        timing_.arbitration_cycles +
+        static_cast<std::uint32_t>(n) * timing_.read_beat_cycles +
+        (r.is_ddr ? timing_.ddr_extra_cycles : 0);
+    complete_transaction(txn_cost);
+    cost += txn_cost;
     i += n;
   }
   return cost;
+}
+
+void Interconnect::apply_faults(std::uint32_t base_cost) {
+  std::uint32_t penalty = 0;
+  if (faults_->fire(fault::FaultSite::kBusDelay)) {
+    penalty += faults_->plan().bus_delay_cycles;
+  }
+  if (faults_->fire(fault::FaultSite::kBusError)) {
+    // SLVERR: the master replays the transaction — one more arbitration
+    // pass plus the full transfer cost.
+    ++fault_errors_;
+    penalty += timing_.arbitration_cycles + base_cost;
+  }
+  pending_fault_cycles_ += penalty;
+  fault_cycles_total_ += penalty;
 }
 
 }  // namespace rtad::bus

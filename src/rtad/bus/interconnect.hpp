@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "rtad/bus/slave.hpp"
+#include "rtad/fault/fault_injector.hpp"
 #include "rtad/sim/stats.hpp"
 
 namespace rtad::bus {
@@ -56,11 +57,39 @@ class Interconnect {
     transfer_hook_ = std::move(hook);
   }
 
+  /// Attach (or detach, with nullptr) the fault layer. Per transaction the
+  /// injector may add arbitration-conflict delay (kBusDelay) or an AXI
+  /// SLVERR (kBusError). Errors are answered by the standard master-side
+  /// retry: the replayed transaction costs another arbitration + transfer
+  /// (word writes/reads are idempotent, so data integrity is unaffected —
+  /// the error surfaces purely as latency plus the `fault_errors` counter).
+  void set_fault_injector(fault::FaultInjector* faults) noexcept {
+    faults_ = faults;
+  }
+
+  /// Extra cycles charged by the fault layer since the last call; callers
+  /// on timed paths fold this into their stall accounting. Kept out of the
+  /// read*/write* return values so fault-free costs are exactly the
+  /// calibrated model regardless of injector presence.
+  std::uint32_t consume_fault_penalty() noexcept {
+    const std::uint32_t p = pending_fault_cycles_;
+    pending_fault_cycles_ = 0;
+    return p;
+  }
+
+  /// AXI error responses injected (each one implies a retry).
+  std::uint64_t fault_errors() const noexcept { return fault_errors_; }
+  /// Lifetime total of injected delay/retry cycles.
+  std::uint64_t fault_cycles() const noexcept { return fault_cycles_total_; }
+
  private:
-  void complete_transaction() {
+  void complete_transaction(std::uint32_t base_cost) {
     ++transactions_;
+    if (faults_ != nullptr) apply_faults(base_cost);
     if (transfer_hook_) transfer_hook_();
   }
+
+  void apply_faults(std::uint32_t base_cost);
 
   struct Region {
     std::string name;
@@ -76,6 +105,11 @@ class Interconnect {
   std::vector<Region> regions_;
   std::uint64_t transactions_ = 0;
   std::function<void()> transfer_hook_;
+
+  fault::FaultInjector* faults_ = nullptr;
+  std::uint32_t pending_fault_cycles_ = 0;
+  std::uint64_t fault_cycles_total_ = 0;
+  std::uint64_t fault_errors_ = 0;
 };
 
 }  // namespace rtad::bus

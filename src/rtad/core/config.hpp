@@ -7,6 +7,7 @@
 #include "rtad/attack/injector.hpp"
 #include "rtad/coresight/ptm.hpp"
 #include "rtad/cpu/instrumentation.hpp"
+#include "rtad/fault/fault_plan.hpp"
 #include "rtad/igm/igm.hpp"
 #include "rtad/mcm/mcm.hpp"
 #include "rtad/sim/simulator.hpp"
@@ -50,6 +51,10 @@ struct SocConfig {
   mcm::McmConfig mcm{};
   std::uint32_t gpu_dispatch_latency = 8;
   std::optional<attack::AttackConfig> attack;
+  /// Deterministic fault plan; defaults to the RTAD_FAULTS environment
+  /// variable. A nullopt (or all-zero) plan leaves the pipeline
+  /// byte-identical to a build without the fault layer.
+  std::optional<fault::FaultPlan> faults = fault::plan_from_env();
   /// Scheduling kernel (dense reference vs. idle-aware event-driven);
   /// overridable per-process with RTAD_SCHED=dense|event.
   sim::SchedMode sched = sim::default_sched_mode();

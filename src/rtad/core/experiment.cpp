@@ -158,6 +158,7 @@ DetectionResult measure_detection(const workloads::SpecProfile& profile,
   atk.seed = options.seed ^ 0xA77AC4;
   cfg.attack = atk;
   cfg.sched = options.sched;
+  cfg.faults = options.faults;
   RtadSoc soc(cfg, &models.image(model), models.features.get());
 
   DetectionResult result;
@@ -184,7 +185,10 @@ DetectionResult measure_detection(const workloads::SpecProfile& profile,
       saw_injected = true;
       first_injected_ps = rec.event_retired_ps;
     }
-    if (rec.anomaly) {
+    // A suppressed IRQ never reaches the host: the detection (or false
+    // positive) silently vanishes, which is exactly the degradation the
+    // fault sweep quantifies.
+    if (rec.anomaly && !rec.irq_suppressed) {
       if (attack_live && saw_injected && !detected &&
           rec.completed_ps - first_injected_ps <
               options.attribution_window_ps) {
@@ -263,6 +267,20 @@ DetectionResult measure_detection(const workloads::SpecProfile& profile,
     result.skipped_cycles +=
         stats.counter(std::string("sim.skipped_cycles.") + domain).value();
   }
+
+  // Pipeline health: every counter is zero in a fault-free run, so these
+  // reads do not perturb the byte-identity surface.
+  result.trace_bytes_corrupted = soc.tpiu().corrupted_bytes();
+  const auto& ta = soc.igm().trace_analyzer();
+  result.decode_bad_packets = ta.decoder().bad_packets();
+  result.decode_resyncs = ta.decoder().resyncs();
+  result.ta_dropped_branches = ta.dropped_branches();
+  result.mcm_recoveries = soc.mcm().recoveries();
+  result.mcm_stalls_injected = soc.mcm().stalls_injected();
+  result.irqs_lost = soc.mcm().irqs_lost();
+  result.bus_errors = soc.mcm().bus().fault_errors();
+  result.bus_fault_cycles = soc.mcm().bus().fault_cycles();
+  if (auto* fi = soc.fault_injector()) result.fault_events = fi->total_fires();
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,18 @@ struct DetectionResult {
   /// byte-identity surface.
   std::uint64_t skipped_edge_groups = 0;
   std::uint64_t skipped_cycles = 0;  ///< summed over all clock domains
+
+  // --- pipeline health (all zero in fault-free runs) ---
+  std::uint64_t trace_bytes_corrupted = 0;  ///< TPIU flips+drops+dups+trunc
+  std::uint64_t decode_bad_packets = 0;     ///< malformed PFT packets seen
+  std::uint64_t decode_resyncs = 0;         ///< A-sync hunts after bad data
+  std::uint64_t ta_dropped_branches = 0;    ///< kDropResync overflow losses
+  std::uint64_t mcm_recoveries = 0;         ///< watchdog-aborted inferences
+  std::uint64_t mcm_stalls_injected = 0;    ///< forced consumer stalls
+  std::uint64_t bus_errors = 0;             ///< AXI SLVERR retries
+  std::uint64_t bus_fault_cycles = 0;       ///< injected bus latency total
+  std::uint64_t irqs_lost = 0;              ///< swallowed anomaly IRQs
+  std::uint64_t fault_events = 0;           ///< injector fires, all sites
 };
 
 struct DetectionOptions {
@@ -113,6 +126,10 @@ struct DetectionOptions {
   /// Scheduling kernel for the run (dense reference vs. event-driven);
   /// results are bit-identical either way — the determinism suite checks.
   sim::SchedMode sched = sim::default_sched_mode();
+  /// Fault plan forwarded into the SoC (defaults to RTAD_FAULTS, like
+  /// SocConfig). nullopt or an all-zero plan leaves every result field
+  /// byte-identical to a fault-free build.
+  std::optional<fault::FaultPlan> faults = fault::plan_from_env();
 };
 
 DetectionResult measure_detection(const workloads::SpecProfile& profile,

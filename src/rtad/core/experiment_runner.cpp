@@ -77,4 +77,24 @@ void ExperimentRunner::print_cell_costs(
      << " s across " << pool_.worker_count() << " workers\n";
 }
 
+void ExperimentRunner::print_health(std::ostream& os,
+                                    const std::vector<DetectionCell>& cells,
+                                    const std::vector<CellResult>& results) {
+  Table table({"Benchmark", "Model", "Engine", "corrupt", "bad_pkt", "resync",
+               "ta_drop", "fifo_drop", "mcm_rec", "stalls", "bus_err",
+               "irq_lost"});
+  for (std::size_t i = 0; i < cells.size() && i < results.size(); ++i) {
+    const auto& d = results[i].detection;
+    table.add_row({cells[i].benchmark, to_string(cells[i].model),
+                   to_string(cells[i].engine),
+                   fmt_count(d.trace_bytes_corrupted),
+                   fmt_count(d.decode_bad_packets), fmt_count(d.decode_resyncs),
+                   fmt_count(d.ta_dropped_branches), fmt_count(d.fifo_drops),
+                   fmt_count(d.mcm_recoveries), fmt_count(d.mcm_stalls_injected),
+                   fmt_count(d.bus_errors), fmt_count(d.irqs_lost)});
+  }
+  os << "Pipeline health (all counters are zero in fault-free runs):\n";
+  table.print(os);
+}
+
 }  // namespace rtad::core

@@ -131,6 +131,13 @@ class ExperimentRunner {
                         const std::vector<DetectionCell>& cells,
                         const std::vector<CellResult>& results) const;
 
+  /// Per-cell pipeline-health table (corruption, resync, drop and recovery
+  /// counters from DetectionResult). Fully deterministic — fault benches
+  /// print it to stdout as part of the byte-identity surface.
+  static void print_health(std::ostream& os,
+                           const std::vector<DetectionCell>& cells,
+                           const std::vector<CellResult>& results);
+
  private:
   std::shared_ptr<TrainedModelCache> cache_;
   sim::ThreadPool pool_;

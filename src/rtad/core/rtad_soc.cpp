@@ -1,5 +1,6 @@
 #include "rtad/core/rtad_soc.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "rtad/gpgpu/rtl_inventory.hpp"
@@ -38,6 +39,13 @@ RtadSoc::RtadSoc(SocConfig config, const ml::ModelImage* image,
   }
   sim_.set_mode(config_.sched);
 
+  // --- fault layer (absent unless the plan actually does something, so
+  // fault-free runs are byte-identical to a build without it) ---
+  if (config_.faults && config_.faults->any()) {
+    fault_injector_ =
+        std::make_unique<fault::FaultInjector>(*config_.faults, config_.seed);
+  }
+
   // --- workload + attack path ---
   generator_ = std::make_unique<workloads::TraceGenerator>(config_.profile,
                                                            config_.seed);
@@ -74,6 +82,7 @@ RtadSoc::RtadSoc(SocConfig config, const ml::ModelImage* image,
   ptm_cfg.enabled = cpu::uses_ptm(config_.mode);
   ptm_ = std::make_unique<coresight::Ptm>(ptm_cfg);
   tpiu_ = std::make_unique<coresight::Tpiu>(ptm_->tx_fifo());
+  tpiu_->set_fault_injector(fault_injector_.get());
 
   // --- host CPU ---
   cpu::HostCpuConfig cpu_cfg;
@@ -98,6 +107,26 @@ RtadSoc::RtadSoc(SocConfig config, const ml::ModelImage* image,
       igm_cfg.encoder.vocab_size = features->config().lstm_vocab;
     }
   }
+  mcm::McmConfig mcm_cfg = config_.mcm;
+  if (fault_injector_ != nullptr) {
+    // Structural degradation knobs from the plan (only applied when the
+    // fault layer is live, preserving fault-free configurations exactly).
+    const auto& plan = fault_injector_->plan();
+    if (plan.fifo_squeeze > 0) {
+      igm_cfg.out_capacity = std::min(igm_cfg.out_capacity, plan.fifo_squeeze);
+      mcm_cfg.fifo_depth = std::min(mcm_cfg.fifo_depth, plan.fifo_squeeze);
+    }
+    if (plan.igm_drop_resync) {
+      igm_cfg.ta_overflow = igm::OverflowPolicy::kDropResync;
+    }
+    if (plan.mcm_drop_oldest) {
+      mcm_cfg.drop_policy = sim::DropPolicy::kDropOldest;
+    }
+    if (plan.watchdog_cycles > 0) {
+      mcm_cfg.watchdog_cycles = plan.watchdog_cycles;
+    }
+  }
+
   igm_ = std::make_unique<igm::Igm>(igm_cfg, tpiu_->port());
 
   gpu_ = std::make_unique<gpgpu::Gpu>(
@@ -106,9 +135,9 @@ RtadSoc::RtadSoc(SocConfig config, const ml::ModelImage* image,
     gpu_->set_trim(gpgpu::RtlInventory::instance().ml_retained());
   }
 
-  mcm::McmConfig mcm_cfg = config_.mcm;
   mcm_cfg.clock_period_ps = fabric_clk.period_ps();
-  mcm_ = std::make_unique<mcm::Mcm>(mcm_cfg, *igm_, *gpu_);
+  mcm_ = std::make_unique<mcm::Mcm>(mcm_cfg, *igm_, *gpu_,
+                                    fault_injector_.get());
 
   // IRQ wiring: MCM interrupt manager -> host CPU.
   mcm_->set_interrupt_handler([this](const mcm::InferenceRecord& rec) {

@@ -15,6 +15,7 @@
 #include "rtad/attack/injector.hpp"
 #include "rtad/core/config.hpp"
 #include "rtad/coresight/ptm.hpp"
+#include "rtad/fault/fault_injector.hpp"
 #include "rtad/coresight/tpiu.hpp"
 #include "rtad/cpu/host_cpu.hpp"
 #include "rtad/gpgpu/gpu.hpp"
@@ -48,6 +49,10 @@ class RtadSoc {
   mcm::Mcm& mcm() noexcept { return *mcm_; }
   gpgpu::Gpu& gpu() noexcept { return *gpu_; }
   attack::AttackInjector& injector() noexcept { return *injector_; }
+  /// The fault layer, or nullptr when the run has no (effective) FaultPlan.
+  fault::FaultInjector* fault_injector() noexcept {
+    return fault_injector_.get();
+  }
   const SocConfig& config() const noexcept { return config_; }
 
   // --- run control ---
@@ -70,6 +75,10 @@ class RtadSoc {
 
   SocConfig config_;
   sim::Simulator sim_;
+
+  // Declared before the components so every module holding a raw pointer to
+  // the injector is destroyed first.
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
 
   std::unique_ptr<workloads::TraceGenerator> generator_;
   std::unique_ptr<cpu::GeneratorSource> generator_source_;

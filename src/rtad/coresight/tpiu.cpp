@@ -2,6 +2,8 @@
 
 namespace rtad::coresight {
 
+using fault::FaultSite;
+
 Tpiu::Tpiu(sim::Fifo<TraceByte>& source, std::size_t port_fifo_words)
     : sim::Component("tpiu"), source_(source), port_(port_fifo_words) {
   // PTM (CPU domain) -> TPIU (fabric domain) crossing: wake on push.
@@ -11,16 +13,65 @@ Tpiu::Tpiu(sim::Fifo<TraceByte>& source, std::size_t port_fifo_words)
 void Tpiu::reset() {
   port_.clear();
   words_emitted_ = 0;
+  dup_pending_ = false;
+  truncate_remaining_ = 0;
+  bits_flipped_ = 0;
+  bytes_dropped_ = 0;
+  bytes_duplicated_ = 0;
+  bytes_truncated_ = 0;
+}
+
+bool Tpiu::apply_faults(TraceByte& tb) {
+  // An open truncation window swallows bytes without further draws.
+  if (truncate_remaining_ > 0) {
+    --truncate_remaining_;
+    ++bytes_truncated_;
+    return false;
+  }
+  if (faults_->fire(FaultSite::kTraceTruncate)) {
+    const std::uint32_t window = faults_->plan().truncate_bytes;
+    truncate_remaining_ = window > 0 ? window - 1 : 0;  // this byte is first
+    ++bytes_truncated_;
+    return false;
+  }
+  if (faults_->fire(FaultSite::kTraceDropByte)) {
+    ++bytes_dropped_;
+    return false;
+  }
+  if (faults_->fire(FaultSite::kTraceBitFlip)) {
+    tb.value ^= static_cast<std::uint8_t>(
+        1u << faults_->draw(FaultSite::kTraceBitFlip, 8));
+    ++bits_flipped_;
+  }
+  if (faults_->fire(FaultSite::kTraceDupByte)) {
+    // Synchronizer double-sample: the byte goes out twice, back to back.
+    dup_byte_ = tb;
+    dup_pending_ = true;
+    ++bytes_duplicated_;
+  }
+  return true;
 }
 
 void Tpiu::tick() {
-  if (source_.empty() || port_.full()) return;
+  if ((source_.empty() && !dup_pending_) || port_.full()) return;
   TpiuWord word;
-  while (word.count < 4 && !source_.empty()) {
-    word.bytes[word.count] = *source_.pop();
+  while (word.count < 4) {
+    TraceByte tb;
+    if (dup_pending_) {
+      tb = dup_byte_;
+      dup_pending_ = false;
+    } else if (!source_.empty()) {
+      tb = *source_.pop();
+      if (faults_ != nullptr && !apply_faults(tb)) continue;
+    } else {
+      break;
+    }
+    word.bytes[word.count] = tb;
     ++word.count;
   }
-  port_.push(word);
+  // Every popped byte may have been consumed by the fault layer.
+  if (word.count == 0) return;
+  port_.try_push(word);
   ++words_emitted_;
 }
 

@@ -4,12 +4,21 @@
 // MLPU instead of off-chip (§III-A / Fig. 1). The TPIU formats the PTM byte
 // stream into 32-bit words — the width of the IGM input port — emitting up
 // to one word (4 trace bytes) per 125 MHz fabric cycle.
+//
+// The trace port is also the pipeline's fault surface: when a FaultInjector
+// is attached, each byte crossing the port may be bit-flipped, dropped,
+// duplicated or swallowed by a truncation window (FaultSite::kTrace*). The
+// damage is applied per byte *popped from the PTM FIFO*, so the corruption
+// sequence is a pure function of the byte stream — identical under both
+// scheduler kernels and any worker count. With no injector attached the
+// tick path is byte-for-byte the original.
 #pragma once
 
 #include <array>
 #include <cstdint>
 
 #include "rtad/coresight/ptm.hpp"
+#include "rtad/fault/fault_injector.hpp"
 #include "rtad/sim/component.hpp"
 #include "rtad/sim/fifo.hpp"
 
@@ -38,23 +47,58 @@ class Tpiu final : public sim::Component {
 
   sim::Fifo<TpiuWord>& port() noexcept { return port_; }
 
+  /// Attach (or detach, with nullptr) the fault layer. Not owned.
+  void set_fault_injector(fault::FaultInjector* faults) noexcept {
+    faults_ = faults;
+  }
+
   void tick() override;
   void reset() override;
 
   /// Blocked while there is nothing to format (or nowhere to put it); the
   /// PTM tx FIFO's wake hook un-blocks the fabric domain on the first byte
-  /// crossing over from the CPU domain.
+  /// crossing over from the CPU domain. A pending duplicated byte counts
+  /// as work even if the source drained.
   sim::WakeHint next_wake() const override {
-    return (source_.empty() || port_.full()) ? sim::WakeHint::blocked()
-                                             : sim::WakeHint::active();
+    return ((source_.empty() && !dup_pending_) || port_.full())
+               ? sim::WakeHint::blocked()
+               : sim::WakeHint::active();
   }
 
   std::uint64_t words_emitted() const noexcept { return words_emitted_; }
 
+  // --- fault accounting (all zero with no injector) ---
+  std::uint64_t bits_flipped() const noexcept { return bits_flipped_; }
+  std::uint64_t bytes_dropped() const noexcept { return bytes_dropped_; }
+  std::uint64_t bytes_duplicated() const noexcept { return bytes_duplicated_; }
+  std::uint64_t bytes_truncated() const noexcept { return bytes_truncated_; }
+  /// Total bytes damaged in any way on the trace port.
+  std::uint64_t corrupted_bytes() const noexcept {
+    return bits_flipped_ + bytes_dropped_ + bytes_duplicated_ +
+           bytes_truncated_;
+  }
+
  private:
+  /// Apply the trace-fault sites to one popped byte. Returns false when the
+  /// byte is consumed by the fault layer (dropped or truncated) and must
+  /// not be formatted into the outgoing word.
+  bool apply_faults(TraceByte& tb);
+
   sim::Fifo<TraceByte>& source_;
   sim::Fifo<TpiuWord> port_;
+  fault::FaultInjector* faults_ = nullptr;
   std::uint64_t words_emitted_ = 0;
+
+  /// Duplicated byte awaiting insertion ahead of the next source byte.
+  TraceByte dup_byte_{};
+  bool dup_pending_ = false;
+  /// Bytes left to swallow in the current truncation window.
+  std::uint32_t truncate_remaining_ = 0;
+
+  std::uint64_t bits_flipped_ = 0;
+  std::uint64_t bytes_dropped_ = 0;
+  std::uint64_t bytes_duplicated_ = 0;
+  std::uint64_t bytes_truncated_ = 0;
 };
 
 }  // namespace rtad::coresight

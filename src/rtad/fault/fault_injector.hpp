@@ -1,0 +1,84 @@
+// Seed-driven fault decision engine.
+//
+// Determinism contract: every decision is drawn *per datum* (per trace byte
+// popped, per vector accepted, per bus transaction, per anomaly), never per
+// simulation tick. Datum order is identical under the dense and
+// event-driven kernels and for any RTAD_JOBS value, so the fault sequence
+// — and therefore every downstream observable — is too. Each FaultSite
+// owns an independent xoshiro256** stream, so one site's draw count never
+// shifts another site's sequence (sweeping trace.bit_flip does not
+// reshuffle when bus errors land).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rtad/fault/fault_plan.hpp"
+#include "rtad/sim/rng.hpp"
+
+namespace rtad::fault {
+
+class FaultInjector {
+ public:
+  /// `salt` decorrelates streams between SoC instances running the same
+  /// plan (experiments pass the SoC seed): two runs with equal (plan, salt)
+  /// replay identical fault sequences.
+  FaultInjector(const FaultPlan& plan, std::uint64_t salt)
+      : plan_(plan),
+        streams_{make_stream(plan.seed, salt, 0), make_stream(plan.seed, salt, 1),
+                 make_stream(plan.seed, salt, 2), make_stream(plan.seed, salt, 3),
+                 make_stream(plan.seed, salt, 4), make_stream(plan.seed, salt, 5),
+                 make_stream(plan.seed, salt, 6), make_stream(plan.seed, salt, 7),
+                 make_stream(plan.seed, salt, 8)} {
+    static_assert(kFaultSiteCount == 9, "stream list must cover every site");
+  }
+
+  /// One Bernoulli decision for `site`. Zero-rate sites never touch their
+  /// stream (the decision is still counted), so a disabled site costs one
+  /// comparison on the hot path.
+  bool fire(FaultSite site) {
+    const auto i = static_cast<std::size_t>(site);
+    ++decisions_[i];
+    if (plan_.rates[i] <= 0.0) return false;
+    if (!streams_[i].chance(plan_.rates[i])) return false;
+    ++fires_[i];
+    return true;
+  }
+
+  /// Auxiliary uniform draw in [0, bound) from `site`'s stream — e.g. which
+  /// bit of a byte to flip. Call only after fire(site) returned true so the
+  /// draw count stays a pure function of the fire sequence.
+  std::uint64_t draw(FaultSite site, std::uint64_t bound) {
+    return streams_[static_cast<std::size_t>(site)].uniform_below(bound);
+  }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  std::uint64_t fires(FaultSite site) const noexcept {
+    return fires_[static_cast<std::size_t>(site)];
+  }
+  std::uint64_t decisions(FaultSite site) const noexcept {
+    return decisions_[static_cast<std::size_t>(site)];
+  }
+  std::uint64_t total_fires() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto f : fires_) sum += f;
+    return sum;
+  }
+
+ private:
+  static sim::Xoshiro256 make_stream(std::uint64_t seed, std::uint64_t salt,
+                                     std::uint64_t site) {
+    // Distinct 64-bit inputs per (seed, salt, site); the xoshiro constructor
+    // splitmix64-scrambles, so simple mixing suffices.
+    return sim::Xoshiro256(seed + 0x9E3779B97F4A7C15ULL * (salt + 1) +
+                           0xBF58476D1CE4E5B9ULL * (site + 1));
+  }
+
+  FaultPlan plan_;
+  std::array<sim::Xoshiro256, kFaultSiteCount> streams_;
+  std::array<std::uint64_t, kFaultSiteCount> fires_{};
+  std::array<std::uint64_t, kFaultSiteCount> decisions_{};
+};
+
+}  // namespace rtad::fault

@@ -1,0 +1,91 @@
+// Deterministic fault model for the trace-to-inference path.
+//
+// A FaultPlan names *where* the SoC may misbehave and *how often*; a
+// FaultInjector (fault_injector.hpp) turns the plan into reproducible
+// per-datum Bernoulli decisions. The plan is plain data so experiment
+// drivers can sweep rates programmatically, and it parses from the
+// RTAD_FAULTS environment variable so any existing binary can be run under
+// fault pressure without a rebuild:
+//
+//   RTAD_FAULTS="trace.bit_flip=0.001,mcm.done_lost=0.05,fifo.squeeze=4"
+//
+// Rate keys (probability per datum — per trace byte, per vector, per bus
+// transaction, per anomaly):
+//   trace.bit_flip  trace.drop  trace.dup  trace.truncate
+//   mcm.stall  mcm.done_lost  bus.delay  bus.error  irq.lost
+// Parameter keys:
+//   trace.truncate_bytes  mcm.stall_cycles  mcm.watchdog  bus.delay_cycles
+//   fifo.squeeze  igm.drop_resync  mcm.drop_oldest  seed
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace rtad::fault {
+
+/// Every place the injector can perturb the pipeline. The site also names
+/// the RNG stream: each site draws from its own generator, so enabling or
+/// querying one site never shifts another site's decision sequence.
+enum class FaultSite : std::uint8_t {
+  kTraceBitFlip = 0,  ///< flip one bit of a trace byte between TPIU and IGM
+  kTraceDropByte,     ///< lose a trace byte on the port
+  kTraceDupByte,      ///< duplicate a trace byte (synchronizer double-sample)
+  kTraceTruncate,     ///< cut a run of bytes (truncated packet / lost window)
+  kMcmStall,          ///< hold the MCM TX engine off the FIFO for a while
+  kMcmDoneLost,       ///< the inference-done indication never reaches the FSM
+  kBusDelay,          ///< AXI transaction delayed by arbitration conflicts
+  kBusError,          ///< AXI SLVERR; the master retries the transaction
+  kIrqLost,           ///< completion interrupt toward the host is lost
+};
+
+inline constexpr std::size_t kFaultSiteCount = 9;
+
+const char* to_string(FaultSite site) noexcept;
+
+struct FaultPlan {
+  /// Per-site fault probabilities, indexed by FaultSite. A rate of 0 means
+  /// the site never draws from its RNG stream at all.
+  std::array<double, kFaultSiteCount> rates{};
+
+  // --- fault-shape parameters ---
+  std::uint32_t truncate_bytes = 8;    ///< bytes cut per kTraceTruncate fire
+  std::uint32_t stall_cycles = 64;     ///< fabric cycles per kMcmStall fire
+  std::uint32_t bus_delay_cycles = 16; ///< extra bus cycles per kBusDelay
+  /// Cap every trace-path FIFO (IGM output, MCM input) at this depth to
+  /// force the paper's §IV-C overflow behaviour. 0 = no squeeze.
+  std::size_t fifo_squeeze = 0;
+  /// Override McmConfig::watchdog_cycles (0 = keep the SoC default).
+  std::uint64_t watchdog_cycles = 0;
+  /// IGM overflow policy: drop decoded branches instead of stalling the TA.
+  bool igm_drop_resync = false;
+  /// MCM input FIFO evicts the oldest vector instead of dropping new ones.
+  bool mcm_drop_oldest = false;
+  /// Base seed of the per-site RNG streams (combined with a per-SoC salt).
+  std::uint64_t seed = 0xFA017;
+
+  double rate(FaultSite site) const noexcept {
+    return rates[static_cast<std::size_t>(site)];
+  }
+  void set_rate(FaultSite site, double r) noexcept {
+    rates[static_cast<std::size_t>(site)] = r;
+  }
+
+  /// True when the plan perturbs anything at all. An injector is only
+  /// constructed (and recovery-policy overrides applied) when any() holds,
+  /// so an all-zero plan is byte-identical to running with no plan.
+  bool any() const noexcept;
+
+  /// Parse a comma-separated key=value spec (the RTAD_FAULTS grammar).
+  /// Throws std::invalid_argument on unknown keys or malformed values.
+  static FaultPlan parse(std::string_view spec);
+};
+
+/// The plan named by RTAD_FAULTS, or nullopt when the variable is unset or
+/// empty. Malformed specs throw (a silently ignored typo would "pass" every
+/// robustness experiment by testing nothing).
+std::optional<FaultPlan> plan_from_env();
+
+}  // namespace rtad::fault

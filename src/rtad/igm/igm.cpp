@@ -5,7 +5,7 @@ namespace rtad::igm {
 Igm::Igm(IgmConfig config, sim::Fifo<coresight::TpiuWord>& tpiu_port)
     : sim::Component("igm"),
       config_(config),
-      ta_(tpiu_port, config.ta_width),
+      ta_(tpiu_port, config.ta_width, 16, config.ta_overflow),
       p2s_(ta_.out()),
       encoder_(config.encoder),
       out_(config.out_capacity) {}

@@ -26,6 +26,9 @@ namespace rtad::igm {
 struct IgmConfig {
   std::uint32_t ta_width = 4;          ///< TA units
   std::size_t out_capacity = 16;       ///< vectors buffered toward the MCM
+  /// TA behaviour on a full output toward the P2S: stall (default) or the
+  /// explicit drop policy used by the fault-injection experiments.
+  OverflowPolicy ta_overflow = OverflowPolicy::kStall;
   VectorEncoderConfig encoder{};
   sim::Picoseconds clock_period_ps = 8'000;  ///< 125 MHz fabric
 };

@@ -17,6 +17,17 @@ void PftStreamDecoder::reset() {
   atoms_decoded_ = 0;
   branches_decoded_ = 0;
   bytes_consumed_ = 0;
+  bad_packets_ = 0;
+  resyncs_ = 0;
+}
+
+void PftStreamDecoder::resync() noexcept {
+  state_ = State::kUnsynced;
+  synced_ = false;
+  zeros_seen_ = 0;
+  payload_needed_ = 0;
+  payload_.clear();
+  ++resyncs_;
 }
 
 std::optional<DecodedBranch> PftStreamDecoder::finish_branch(
@@ -114,10 +125,11 @@ std::optional<DecodedBranch> PftStreamDecoder::feed(
         state_ = State::kIdle;
         zeros_seen_ = 0;
       } else {
-        // Malformed run: drop sync and hunt again.
-        state_ = State::kUnsynced;
-        synced_ = false;
-        zeros_seen_ = 0;
+        // Malformed run: a clean encoder always terminates >= 4 zeros with
+        // 0x80, so anything else is stream damage. Drop sync, count it, and
+        // hunt for the next periodic preamble.
+        ++bad_packets_;
+        resync();
       }
       return std::nullopt;
 
@@ -142,9 +154,19 @@ std::optional<DecodedBranch> PftStreamDecoder::feed(
 
     case State::kBranchPayload:
       payload_.push_back(b);
-      if ((b & kContinuationBit) == 0 || payload_.size() == 5) {
+      if (payload_.size() == 5) {
+        if (b & kContinuationBit) {
+          // The grammar caps branch packets at 5 bytes and the encoder
+          // never sets the continuation bit on the last one — a set bit
+          // here is corruption. Discard the packet rather than emit an
+          // address assembled from damaged bytes.
+          ++bad_packets_;
+          resync();
+          return std::nullopt;
+        }
         return finish_branch(byte);
       }
+      if ((b & kContinuationBit) == 0) return finish_branch(byte);
       return std::nullopt;
   }
   return std::nullopt;

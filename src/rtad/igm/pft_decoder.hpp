@@ -24,6 +24,12 @@ struct DecodedBranch {
 
 /// Packet-level state machine; consumes one byte per call. Starts
 /// unsynchronized and discards bytes until the first A-sync/I-sync pair.
+///
+/// Degradation contract: a malformed stream (corrupted, truncated or
+/// reordered bytes) never throws and never wedges the decoder. Grammar
+/// violations are counted in `bad_packets()` and answered with resync():
+/// the decoder drops back to the A-sync hunt and recovers at the PTM's next
+/// periodic sync preamble, counting the loss of lock in `resyncs()`.
 class PftStreamDecoder {
  public:
   /// Feed one byte; returns a decoded branch when this byte completes a
@@ -32,12 +38,21 @@ class PftStreamDecoder {
 
   void reset();
 
+  /// Abandon the current packet and hunt for the next A-sync run. Counted
+  /// in resyncs(). Also invoked internally on every detected grammar
+  /// violation — a clean stream never triggers it.
+  void resync() noexcept;
+
   bool synced() const noexcept { return synced_; }
   std::uint64_t last_address() const noexcept { return last_address_; }
   std::uint8_t context_id() const noexcept { return context_id_; }
   std::uint64_t atoms_decoded() const noexcept { return atoms_decoded_; }
   std::uint64_t branches_decoded() const noexcept { return branches_decoded_; }
   std::uint64_t bytes_consumed() const noexcept { return bytes_consumed_; }
+  /// Grammar violations observed (each one also forces a resync).
+  std::uint64_t bad_packets() const noexcept { return bad_packets_; }
+  /// Times the decoder dropped to the A-sync hunt after its first sync.
+  std::uint64_t resyncs() const noexcept { return resyncs_; }
 
  private:
   enum class State {
@@ -63,6 +78,8 @@ class PftStreamDecoder {
   std::uint64_t atoms_decoded_ = 0;
   std::uint64_t branches_decoded_ = 0;
   std::uint64_t bytes_consumed_ = 0;
+  std::uint64_t bad_packets_ = 0;
+  std::uint64_t resyncs_ = 0;
 };
 
 }  // namespace rtad::igm

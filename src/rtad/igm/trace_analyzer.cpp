@@ -5,11 +5,13 @@
 namespace rtad::igm {
 
 TraceAnalyzer::TraceAnalyzer(sim::Fifo<coresight::TpiuWord>& port,
-                             std::uint32_t width, std::size_t out_capacity)
+                             std::uint32_t width, std::size_t out_capacity,
+                             OverflowPolicy overflow)
     : sim::Component("trace_analyzer"),
       port_(port),
       out_(out_capacity),
-      width_(width) {
+      width_(width),
+      overflow_(overflow) {
   if (width == 0 || width > 4) {
     throw std::invalid_argument("TA width must be in [1,4]");
   }
@@ -21,6 +23,7 @@ void TraceAnalyzer::reset() {
   has_pending_ = false;
   pending_pos_ = 0;
   stall_cycles_ = 0;
+  dropped_branches_ = 0;
 }
 
 void TraceAnalyzer::tick() {
@@ -34,13 +37,19 @@ void TraceAnalyzer::tick() {
     }
     bool stalled = false;
     while (budget > 0 && pending_pos_ < pending_.count) {
-      if (out_.full()) {  // backpressure from P2S
+      if (out_.full() && overflow_ == OverflowPolicy::kStall) {
+        // backpressure from P2S
         ++stall_cycles_;
         stalled = true;
         break;
       }
       const auto& tb = pending_.bytes[pending_pos_];
-      if (auto decoded = decoder_.feed(tb)) out_.push(*decoded);
+      if (auto decoded = decoder_.feed(tb)) {
+        // Under kDropResync a full output discards the branch instead of
+        // stalling the byte stream — losing one sample beats backing the
+        // trace port up into word drops.
+        if (!out_.try_push(*decoded)) ++dropped_branches_;
+      }
       ++pending_pos_;
       --budget;
     }

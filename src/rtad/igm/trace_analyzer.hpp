@@ -17,11 +17,18 @@
 
 namespace rtad::igm {
 
+/// What the TA does when its output FIFO toward the P2S is full.
+enum class OverflowPolicy : std::uint8_t {
+  kStall,       ///< hold the byte stream (backpressure into the TPIU port)
+  kDropResync,  ///< keep decoding, drop branches that find no room
+};
+
 class TraceAnalyzer final : public sim::Component {
  public:
   /// `width` = number of TA units (bytes decoded per cycle), 1..4.
   TraceAnalyzer(sim::Fifo<coresight::TpiuWord>& port, std::uint32_t width = 4,
-                std::size_t out_capacity = 16);
+                std::size_t out_capacity = 16,
+                OverflowPolicy overflow = OverflowPolicy::kStall);
 
   sim::Fifo<DecodedBranch>& out() noexcept { return out_; }
   const sim::Fifo<DecodedBranch>& out() const noexcept { return out_; }
@@ -39,14 +46,18 @@ class TraceAnalyzer final : public sim::Component {
   }
 
   std::uint32_t width() const noexcept { return width_; }
+  OverflowPolicy overflow_policy() const noexcept { return overflow_; }
   const PftStreamDecoder& decoder() const noexcept { return decoder_; }
   std::uint64_t stall_cycles() const noexcept { return stall_cycles_; }
+  /// Branches decoded but discarded on a full output under kDropResync.
+  std::uint64_t dropped_branches() const noexcept { return dropped_branches_; }
 
  private:
   sim::Fifo<coresight::TpiuWord>& port_;
   PftStreamDecoder decoder_;
   sim::Fifo<DecodedBranch> out_;
   std::uint32_t width_;
+  OverflowPolicy overflow_;
 
   // Residual bytes of a word that could not be fully consumed this cycle
   // (width < 4, or output backpressure).
@@ -55,6 +66,7 @@ class TraceAnalyzer final : public sim::Component {
   bool has_pending_ = false;
 
   std::uint64_t stall_cycles_ = 0;
+  std::uint64_t dropped_branches_ = 0;
 };
 
 }  // namespace rtad::igm

@@ -1,17 +1,26 @@
 #include "rtad/mcm/mcm.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace rtad::mcm {
 
-Mcm::Mcm(McmConfig config, igm::Igm& igm, gpgpu::Gpu& gpu)
+using fault::FaultSite;
+
+Mcm::Mcm(McmConfig config, igm::Igm& igm, gpgpu::Gpu& gpu,
+         fault::FaultInjector* faults)
     : sim::Component("mcm"),
       config_(config),
       igm_(igm),
       gpu_(gpu),
       converter_(config.converter),
       driver_(gpu, converter_),
-      input_fifo_(config.fifo_depth) {
+      faults_(faults),
+      input_fifo_(config.fifo_depth, config.drop_policy) {
+  // TX/RX engines reach ML-MIAOW's internal memory through the AXI
+  // interconnect (identity-mapped: bus address == memory offset).
+  bus_.map("ml-miaow-mem", 0, gpu_.memory().size(), gpu_.memory());
+  bus_.set_fault_injector(faults);
   // Wake the fabric domain when a kernel finishes so the kWaitDone poll
   // resumes on the next fabric edge after completion.
   gpu_.set_completion_hook([this] { request_wake(); });
@@ -32,24 +41,27 @@ void Mcm::reset() {
   completed_ = 0;
   interrupts_ = 0;
   last_tx_cycles_ = 0;
+  done_suppressed_ = false;
+  waitdone_cycles_ = 0;
+  recoveries_ = 0;
+  stalls_injected_ = 0;
+  irqs_lost_ = 0;
 }
 
 void Mcm::write_payload_to_gpu(const igm::InputVector& vec) {
   const auto* image = driver_.model();
-  gpu_.memory().write_block(image->input_addr, vec.payload.data(),
-                            vec.payload.size());
+  bus_.write_burst(image->input_addr, vec.payload);
 }
 
 void Mcm::tick() {
   ++cycles_;
 
   // Always drain the IGM output into the internal FIFO (1 vector/cycle);
-  // when the FIFO is full the vector is dropped — this is the §IV-C
-  // overflow behaviour ("the buffer would overflow and lose newly sent
-  // data").
+  // when the FIFO is full a vector is lost under the configured drop
+  // policy — kDropNew is the §IV-C overflow behaviour ("the buffer would
+  // overflow and lose newly sent data").
   if (!igm_.out().empty()) {
-    const igm::InputVector vec = *igm_.out().pop();
-    input_fifo_.try_push(vec);
+    input_fifo_.try_push(*igm_.out().pop());
   }
 
   if (stall_cycles_ > 0) {
@@ -61,19 +73,44 @@ void Mcm::tick() {
     case McmState::kWaitInput:
       if (driver_.model() == nullptr || input_fifo_.empty()) break;
       state_ = McmState::kReadInput;
+      // Consumer-stall fault: the TX engine is held off the FIFO for a
+      // while (e.g. the fabric arbiter starves it). Drawn once per vector
+      // at this transition — never re-drawn on retry — so a rate of 1.0
+      // stalls every vector instead of stalling forever.
+      if (faults_ != nullptr && faults_->fire(FaultSite::kMcmStall)) {
+        stall_cycles_ = faults_->plan().stall_cycles;
+        ++stalls_injected_;
+      }
       break;
 
-    case McmState::kReadInput:
-      current_ = *input_fifo_.pop();
+    case McmState::kReadInput: {
+      auto vec = input_fifo_.pop();
+      if (!vec) {
+        // Defensive: cannot happen today (kWaitInput verified occupancy and
+        // nothing pops in between), but an empty FIFO must re-arm, not
+        // dereference.
+        state_ = McmState::kWaitInput;
+        break;
+      }
+      current_ = std::move(*vec);
       state_ = McmState::kWriteInput;
       break;
+    }
 
     case McmState::kWriteInput: {
       write_payload_to_gpu(current_);
-      last_tx_cycles_ = converter_.transfer_cycles(
-          static_cast<std::uint32_t>(current_.payload.size()));
+      last_tx_cycles_ =
+          converter_.transfer_cycles(
+              static_cast<std::uint32_t>(current_.payload.size())) +
+          bus_.consume_fault_penalty();
       driver_.begin_inference();
       stall_cycles_ = last_tx_cycles_;
+      // Decide now whether this inference's done indication is lost; the
+      // GPU still runs to completion, the FSM just never sees it and the
+      // watchdog must rescue the pipeline.
+      done_suppressed_ =
+          faults_ != nullptr && faults_->fire(FaultSite::kMcmDoneLost);
+      waitdone_cycles_ = 0;
       state_ = McmState::kWaitDone;
       break;
     }
@@ -82,26 +119,53 @@ void Mcm::tick() {
       const std::uint32_t setup = driver_.advance();
       if (setup > 0) {
         stall_cycles_ = setup;
+        waitdone_cycles_ = 0;
         break;
       }
-      if (driver_.inference_done()) state_ = McmState::kReadResult;
+      if (driver_.inference_done() && !done_suppressed_) {
+        waitdone_cycles_ = 0;
+        state_ = McmState::kReadResult;
+        break;
+      }
+      ++waitdone_cycles_;
+      if (config_.watchdog_cycles != 0 &&
+          waitdone_cycles_ >= config_.watchdog_cycles && gpu_.idle()) {
+        // Watchdog: abandon the wedged inference (its result is lost) and
+        // re-arm for the next vector.
+        ++recoveries_;
+        done_suppressed_ = false;
+        waitdone_cycles_ = 0;
+        state_ = McmState::kWaitInput;
+      }
       break;
     }
 
     case McmState::kReadResult: {
       const auto* image = driver_.model();
+      std::uint32_t flag_word = 0;
+      std::uint32_t score_word = 0;
+      bus_.read32(image->result_addr, flag_word);
+      bus_.read32(image->result_addr + 4, score_word);
       InferenceRecord rec;
-      rec.anomaly = gpu_.memory().read32(image->result_addr) != 0;
-      rec.score = gpu_.memory().read_f32(image->result_addr + 4);
+      rec.anomaly = flag_word != 0;
+      std::memcpy(&rec.score, &score_word, sizeof(rec.score));
       rec.injected = current_.injected;
       rec.event_retired_ps = current_.origin_ps;
       rec.completed_ps = local_time_ps();
-      stall_cycles_ = converter_.transfer_cycles(2);  // RX engine: 2 words
+      stall_cycles_ = converter_.transfer_cycles(2)  // RX engine: 2 words
+                      + bus_.consume_fault_penalty();
       ++completed_;
-      if (inference_observer_) inference_observer_(rec);
       if (rec.anomaly) {
-        ++interrupts_;
-        if (interrupt_handler_) interrupt_handler_(rec);
+        if (faults_ != nullptr && faults_->fire(FaultSite::kIrqLost)) {
+          rec.irq_suppressed = true;
+          ++irqs_lost_;
+        } else {
+          ++interrupts_;
+        }
+      }
+      if (inference_observer_) inference_observer_(rec);
+      if (rec.anomaly && !rec.irq_suppressed && interrupt_handler_) {
+        interrupt_handler_(rec);
       }
       state_ = McmState::kWaitInput;
       break;
@@ -124,7 +188,17 @@ sim::WakeHint Mcm::next_wake() const {
     case McmState::kWaitDone:
       // driver_.advance() is a pure no-op while the GPU is busy; the
       // completion hook ends the wait.
-      return gpu_.idle() ? sim::WakeHint::active() : sim::WakeHint::blocked();
+      if (!gpu_.idle()) return sim::WakeHint::blocked();
+      if (done_suppressed_ && driver_.inference_done() &&
+          config_.watchdog_cycles != 0 &&
+          config_.watchdog_cycles > waitdone_cycles_ + 1) {
+        // Wedged on a lost done: every tick until the watchdog trips only
+        // advances waitdone_cycles_ (replayed in on_cycles_skipped), so
+        // the domain may sleep until the abort tick.
+        return sim::WakeHint::idle_for(config_.watchdog_cycles -
+                                       waitdone_cycles_ - 1);
+      }
+      return sim::WakeHint::active();
     default:
       return sim::WakeHint::active();
   }
@@ -133,9 +207,14 @@ sim::WakeHint Mcm::next_wake() const {
 void Mcm::on_cycles_skipped(sim::Cycle n) {
   cycles_ += n;
   if (stall_cycles_ > 0) {
-    stall_cycles_ -= static_cast<std::uint32_t>(
-        std::min<sim::Cycle>(stall_cycles_, n));
+    const auto consumed = std::min<sim::Cycle>(stall_cycles_, n);
+    stall_cycles_ -= static_cast<std::uint32_t>(consumed);
+    n -= consumed;
   }
+  // Non-stall kWaitDone ticks are exactly the ones that would have bumped
+  // the watchdog clock (the dense kernel increments it whether the GPU is
+  // busy or the done indication is lost — both replay paths land here).
+  if (state_ == McmState::kWaitDone && n > 0) waitdone_cycles_ += n;
 }
 
 }  // namespace rtad::mcm

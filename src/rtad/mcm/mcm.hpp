@@ -8,12 +8,25 @@
 // The internal FIFO is where the paper's §IV-C overflow phenomenon lives:
 // when the engine cannot keep up with the monitored-branch rate, newly
 // arriving vectors are dropped and counted.
+//
+// TX/RX data moves over an AXI interconnect mapped onto ML-MIAOW's internal
+// memory (the NIC-301 path of Fig. 1). The calibrated cost model stays the
+// protocol converter's (Fig. 7); the bus contributes cycles only when a
+// fault layer injects delays or SLVERR retries, so fault-free timing is
+// unchanged.
+//
+// Degradation contract: a wedged kWaitDone (lost completion indication) is
+// aborted by a watchdog after `watchdog_cycles` fabric cycles; the FSM
+// re-arms for the next vector and counts the recovery. No input pattern or
+// injected fault can deadlock the FSM.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 
+#include "rtad/bus/interconnect.hpp"
+#include "rtad/fault/fault_injector.hpp"
 #include "rtad/gpgpu/gpu.hpp"
 #include "rtad/igm/igm.hpp"
 #include "rtad/mcm/control_fsm.hpp"
@@ -27,6 +40,14 @@ namespace rtad::mcm {
 
 struct McmConfig {
   std::size_t fifo_depth = 16;           ///< internal input-vector FIFO
+  /// Overflow policy of the internal FIFO. kDropNew is the paper's §IV-C
+  /// behaviour; kDropOldest trades stale vectors for fresh ones.
+  sim::DropPolicy drop_policy = sim::DropPolicy::kDropNew;
+  /// Fabric cycles in kWaitDone before the watchdog aborts a wedged
+  /// inference. Far above any legitimate wait (an inference takes a few
+  /// thousand cycles), so it only ever fires on a lost done indication.
+  /// 0 disables the watchdog.
+  std::uint64_t watchdog_cycles = 1u << 20;
   sim::Picoseconds clock_period_ps = 8'000;  ///< 125 MHz
   ProtocolConverterTiming converter{};
 };
@@ -36,6 +57,9 @@ struct InferenceRecord {
   bool anomaly = false;
   float score = 0.0f;
   bool injected = false;                ///< input was attack-tainted
+  /// The anomaly IRQ toward the host was swallowed by a fault
+  /// (FaultSite::kIrqLost): the host never learns of this detection.
+  bool irq_suppressed = false;
   sim::Picoseconds event_retired_ps = 0;
   sim::Picoseconds completed_ps = 0;
   sim::Picoseconds latency_ps() const noexcept {
@@ -45,7 +69,10 @@ struct InferenceRecord {
 
 class Mcm final : public sim::Component {
  public:
-  Mcm(McmConfig config, igm::Igm& igm, gpgpu::Gpu& gpu);
+  /// `faults` (optional, not owned) perturbs the MCM's FIFO intake, done
+  /// indication, interrupt line and bus transactions.
+  Mcm(McmConfig config, igm::Igm& igm, gpgpu::Gpu& gpu,
+      fault::FaultInjector* faults = nullptr);
 
   /// Load a model (host driver writes the image into ML-MIAOW memory).
   void load_model(const ml::ModelImage* image);
@@ -73,6 +100,16 @@ class Mcm final : public sim::Component {
     return input_fifo_.high_watermark();
   }
 
+  // --- degradation accounting (all zero in fault-free runs) ---
+  /// Wedged inferences abandoned by the kWaitDone watchdog.
+  std::uint64_t recoveries() const noexcept { return recoveries_; }
+  /// Consumer stalls injected ahead of a FIFO read (FaultSite::kMcmStall).
+  std::uint64_t stalls_injected() const noexcept { return stalls_injected_; }
+  /// Anomaly interrupts swallowed by FaultSite::kIrqLost.
+  std::uint64_t irqs_lost() const noexcept { return irqs_lost_; }
+  /// The TX/RX interconnect (fault penalties and error counts live here).
+  const bus::Interconnect& bus() const noexcept { return bus_; }
+
   /// Fabric cycles the TX engine spent writing the last input vector
   /// (step-3 probe for the Fig. 7 latency breakdown).
   std::uint32_t last_tx_cycles() const noexcept { return last_tx_cycles_; }
@@ -89,6 +126,8 @@ class Mcm final : public sim::Component {
   gpgpu::Gpu& gpu_;
   ProtocolConverter converter_;
   MlMiaowDriver driver_;
+  bus::Interconnect bus_;
+  fault::FaultInjector* faults_ = nullptr;
 
   sim::Fifo<igm::InputVector> input_fifo_;
   McmState state_ = McmState::kWaitInput;
@@ -96,12 +135,21 @@ class Mcm final : public sim::Component {
   igm::InputVector current_;
   std::uint32_t last_tx_cycles_ = 0;
 
+  /// The current inference's done indication was lost (kMcmDoneLost): the
+  /// FSM will not observe completion and must be rescued by the watchdog.
+  bool done_suppressed_ = false;
+  /// Consecutive non-stall cycles spent in kWaitDone (watchdog clock).
+  std::uint64_t waitdone_cycles_ = 0;
+
   std::function<void(const InferenceRecord&)> interrupt_handler_;
   std::function<void(const InferenceRecord&)> inference_observer_;
 
   std::uint64_t cycles_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t interrupts_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t stalls_injected_ = 0;
+  std::uint64_t irqs_lost_ = 0;
 };
 
 }  // namespace rtad::mcm

@@ -3,7 +3,9 @@
 // Overflow behaviour matters for the paper's evaluation: §IV-C observes that
 // with the original MIAOW the MCM input FIFO occasionally overflows on
 // branch-heavy benchmarks (471.omnetpp) and *drops newly arriving data*.
-// `try_push` models exactly that drop-new policy and counts the losses.
+// `try_push` models exactly that drop-new policy and counts the losses; a
+// drop-oldest variant (evict the head, accept the newcomer) is selectable
+// for robustness experiments that compare loss policies under pressure.
 #pragma once
 
 #include <cstddef>
@@ -16,37 +18,40 @@
 
 namespace rtad::sim {
 
+/// What a full FIFO does with an arriving item.
+enum class DropPolicy : std::uint8_t {
+  kDropNew,     ///< discard the newcomer (the paper's §IV-C behaviour)
+  kDropOldest,  ///< evict the head to make room; the newcomer is accepted
+};
+
 template <typename T>
 class Fifo {
  public:
-  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+  explicit Fifo(std::size_t capacity, DropPolicy policy = DropPolicy::kDropNew)
+      : capacity_(capacity), policy_(policy) {
     if (capacity == 0) throw std::invalid_argument("FIFO capacity must be > 0");
   }
 
   std::size_t capacity() const noexcept { return capacity_; }
+  DropPolicy policy() const noexcept { return policy_; }
   std::size_t size() const noexcept { return items_.size(); }
   bool empty() const noexcept { return items_.empty(); }
   bool full() const noexcept { return items_.size() >= capacity_; }
 
-  /// Push if space is available; otherwise drop the item (hardware FIFOs do
-  /// not exert backpressure on the trace path) and count the overflow.
-  /// Returns true if the item was accepted.
-  bool try_push(const T& item) {
-    ++pushes_;
-    if (full()) {
-      ++overflows_;
-      return false;
-    }
-    items_.push_back(item);
-    high_watermark_ = std::max(high_watermark_, items_.size());
-    if (wake_hook_) wake_hook_();
-    return true;
-  }
+  /// Push under the drop policy (hardware FIFOs do not exert backpressure
+  /// on the trace path). On a full FIFO the overflow is counted and either
+  /// the item is dropped (kDropNew, returns false) or the oldest entry is
+  /// evicted to admit it (kDropOldest, returns true). Returns whether the
+  /// pushed item was accepted.
+  bool try_push(const T& item) { return push_impl(item); }
+  bool try_push(T&& item) { return push_impl(std::move(item)); }
 
   /// Install a hook invoked after every *accepted* push. The consumer side
   /// registers `request_wake()` here so the event scheduler un-blocks its
-  /// clock domain the moment data crosses into it (dropped pushes leave the
-  /// occupancy unchanged and wake nobody).
+  /// clock domain the moment data crosses into it. A kDropNew overflow
+  /// leaves the occupancy unchanged and wakes nobody; a kDropOldest
+  /// overflow still delivers new data (head evicted) and therefore fires
+  /// the hook — the consumer's view changed even though size() did not.
   void set_wake_hook(std::function<void()> hook) {
     wake_hook_ = std::move(hook);
   }
@@ -54,7 +59,8 @@ class Fifo {
   /// Push that requires space; throws on overflow. For paths with real
   /// backpressure where the producer checked `full()` first.
   void push(const T& item) {
-    if (!try_push(item)) throw std::runtime_error("push into full FIFO");
+    if (full()) throw std::runtime_error("push into full FIFO");
+    try_push(item);
   }
 
   std::optional<T> pop() {
@@ -70,11 +76,17 @@ class Fifo {
 
   /// Total push attempts (accepted + dropped).
   std::uint64_t pushes() const noexcept { return pushes_; }
-  /// Items dropped because the FIFO was full.
+  /// Items lost to a full FIFO (the newcomer under kDropNew, the evicted
+  /// head under kDropOldest).
   std::uint64_t overflows() const noexcept { return overflows_; }
-  /// Deepest occupancy ever observed.
+  /// Deepest occupancy ever observed (since construction or the last
+  /// reset_stats()).
   std::size_t high_watermark() const noexcept { return high_watermark_; }
 
+  /// Restart the counters for a new measurement window. The high watermark
+  /// restarts from the *current* occupancy — not zero — so a window opened
+  /// on a non-empty FIFO never reports a watermark below what is already
+  /// buffered.
   void reset_stats() noexcept {
     pushes_ = 0;
     overflows_ = 0;
@@ -82,7 +94,22 @@ class Fifo {
   }
 
  private:
+  template <typename U>
+  bool push_impl(U&& item) {
+    ++pushes_;
+    if (full()) {
+      ++overflows_;
+      if (policy_ == DropPolicy::kDropNew) return false;
+      items_.pop_front();  // kDropOldest: sacrifice the head
+    }
+    items_.push_back(std::forward<U>(item));
+    high_watermark_ = std::max(high_watermark_, items_.size());
+    if (wake_hook_) wake_hook_();
+    return true;
+  }
+
   std::size_t capacity_;
+  DropPolicy policy_;
   std::deque<T> items_;
   std::uint64_t pushes_ = 0;
   std::uint64_t overflows_ = 0;

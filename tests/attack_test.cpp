@@ -62,6 +62,32 @@ TEST(AttackInjector, OneShotUntilRearmed) {
   EXPECT_EQ(inj.attacks_launched(), 2u);
 }
 
+TEST(AttackInjector, RearmWithFutureTriggerWaitsForIt) {
+  Fixture f;
+  AttackConfig cfg;
+  cfg.trigger_instruction = 0;
+  cfg.burst_events = 3;
+  AttackInjector inj(f.source, {0x1000}, cfg);
+  std::size_t injected = 0;
+  for (int i = 0; i < 3000; ++i) injected += inj.next().event.injected ? 1 : 0;
+  ASSERT_EQ(injected, 3u);
+
+  // Re-arm for a trigger well in the future: nothing may fire before the
+  // instruction counter crosses it.
+  const std::uint64_t trigger = inj.instructions_seen() + 500;
+  inj.arm(trigger);
+  EXPECT_FALSE(inj.attack_in_progress());
+  injected = 0;
+  while (inj.instructions_seen() < trigger) {
+    const auto s = inj.next();
+    if (s.event.injected) ++injected;
+  }
+  EXPECT_EQ(injected, 0u);
+  for (int i = 0; i < 3000; ++i) injected += inj.next().event.injected ? 1 : 0;
+  EXPECT_EQ(injected, 3u);
+  EXPECT_EQ(inj.attacks_launched(), 2u);
+}
+
 TEST(AttackInjector, SyscallModeInjectsSyscalls) {
   Fixture f;
   AttackConfig cfg;
