@@ -20,7 +20,13 @@
 // dominated by simulation, not host-side model training (the resulting
 // latencies are still deterministic, just trained on fewer tokens);
 // RTAD_SCHED=dense|event selects the simulation kernel — stdout is
-// byte-identical either way, scheduler statistics go to stderr.
+// byte-identical either way, scheduler statistics go to stderr;
+// RTAD_TRACE=<path> writes a Chrome-trace/Perfetto JSON per cell
+// (multi-cell runs insert ".cellNNN" before a trailing ".json");
+// RTAD_METRICS=<path> writes stable-key JSON run metrics the same way.
+// Both exports are byte-identical across schedulers and worker counts,
+// and leave stdout untouched (cycle accounts go to stderr).
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -251,5 +257,12 @@ int main() {
                "471.omnetpp) with the slower MIAOW engine.\n";
 
   runner.print_cell_costs(std::cerr, cells, results);
+  const bool has_accounts =
+      std::any_of(results.begin(), results.end(), [](const auto& r) {
+        return !r.detection.cycle_accounts.empty();
+      });
+  if (has_accounts) {
+    core::ExperimentRunner::print_cycle_accounts(std::cerr, cells, results);
+  }
   return 0;
 }

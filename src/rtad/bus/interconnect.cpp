@@ -35,7 +35,7 @@ std::uint32_t Interconnect::read32(std::uint64_t addr, std::uint32_t& out) {
   const std::uint32_t cost = timing_.arbitration_cycles +
                              timing_.read_beat_cycles +
                              (r.is_ddr ? timing_.ddr_extra_cycles : 0);
-  complete_transaction(cost);
+  complete_transaction(cost, "rd", r.name);
   return cost;
 }
 
@@ -45,7 +45,7 @@ std::uint32_t Interconnect::write32(std::uint64_t addr, std::uint32_t value) {
   const std::uint32_t cost = timing_.arbitration_cycles +
                              timing_.write_beat_cycles +
                              (r.is_ddr ? timing_.ddr_extra_cycles : 0);
-  complete_transaction(cost);
+  complete_transaction(cost, "wr", r.name);
   return cost;
 }
 
@@ -63,7 +63,7 @@ std::uint32_t Interconnect::write_burst(std::uint64_t addr,
         timing_.arbitration_cycles +
         static_cast<std::uint32_t>(n) * timing_.write_beat_cycles +
         (r.is_ddr ? timing_.ddr_extra_cycles : 0);
-    complete_transaction(txn_cost);
+    complete_transaction(txn_cost, "wr_burst", r.name);
     cost += txn_cost;
     i += n;
   }
@@ -86,7 +86,7 @@ std::uint32_t Interconnect::read_burst(std::uint64_t addr, std::size_t n_beats,
         timing_.arbitration_cycles +
         static_cast<std::uint32_t>(n) * timing_.read_beat_cycles +
         (r.is_ddr ? timing_.ddr_extra_cycles : 0);
-    complete_transaction(txn_cost);
+    complete_transaction(txn_cost, "rd_burst", r.name);
     cost += txn_cost;
     i += n;
   }

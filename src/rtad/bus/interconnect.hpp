@@ -16,7 +16,9 @@
 
 #include "rtad/bus/slave.hpp"
 #include "rtad/fault/fault_injector.hpp"
+#include "rtad/obs/trace_sink.hpp"
 #include "rtad/sim/stats.hpp"
+#include "rtad/sim/time.hpp"
 
 namespace rtad::bus {
 
@@ -82,10 +84,25 @@ class Interconnect {
   /// Lifetime total of injected delay/retry cycles.
   std::uint64_t fault_cycles() const noexcept { return fault_cycles_total_; }
 
+  /// Attach the tracer: each completed transaction becomes a span named
+  /// "<op>:<region>" starting at `now_fn()` and lasting its cycle cost at
+  /// `cycle_period_ps`. The interconnect is passive (called from the
+  /// master's tick), so `now_fn` supplies the simulated timestamp.
+  void set_trace(obs::TraceHandle trace, sim::Picoseconds cycle_period_ps,
+                 std::function<sim::Picoseconds()> now_fn) {
+    trace_ = trace;
+    trace_period_ps_ = cycle_period_ps;
+    trace_now_ = std::move(now_fn);
+  }
+
  private:
-  void complete_transaction(std::uint32_t base_cost) {
+  void complete_transaction(std::uint32_t base_cost, const char* op,
+                            const std::string& region) {
     ++transactions_;
     if (faults_ != nullptr) apply_faults(base_cost);
+    if (trace_)
+      trace_.complete(std::string(op) + ":" + region, trace_now_(),
+                      base_cost * trace_period_ps_);
     if (transfer_hook_) transfer_hook_();
   }
 
@@ -110,6 +127,10 @@ class Interconnect {
   std::uint32_t pending_fault_cycles_ = 0;
   std::uint64_t fault_cycles_total_ = 0;
   std::uint64_t fault_errors_ = 0;
+
+  obs::TraceHandle trace_;
+  sim::Picoseconds trace_period_ps_ = 0;
+  std::function<sim::Picoseconds()> trace_now_;
 };
 
 }  // namespace rtad::bus

@@ -10,6 +10,7 @@
 #include "rtad/fault/fault_plan.hpp"
 #include "rtad/igm/igm.hpp"
 #include "rtad/mcm/mcm.hpp"
+#include "rtad/obs/observer.hpp"
 #include "rtad/sim/simulator.hpp"
 #include "rtad/workloads/spec_model.hpp"
 
@@ -58,6 +59,12 @@ struct SocConfig {
   /// Scheduling kernel (dense reference vs. idle-aware event-driven);
   /// overridable per-process with RTAD_SCHED=dense|event.
   sim::SchedMode sched = sim::default_sched_mode();
+  /// Observability context (not owned, may be null). When set, every
+  /// component registers a cycle account with it — and, if it carries a
+  /// trace sink, span/counter tracks too. Installed after construction and
+  /// model load so initialization traffic is not traced; must outlive the
+  /// SoC's runs. Null keeps all instrumentation on its no-op path.
+  obs::Observer* observer = nullptr;
 };
 
 }  // namespace rtad::core

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
+
+#include "rtad/core/metrics_export.hpp"
 
 namespace rtad::core {
 
@@ -159,6 +162,18 @@ DetectionResult measure_detection(const workloads::SpecProfile& profile,
   cfg.attack = atk;
   cfg.sched = options.sched;
   cfg.faults = options.faults;
+
+  // Observability: the Observer exists only when the run asked for it, so
+  // disabled runs never leave the instrumentation's null-pointer fast path.
+  const bool observing = options.cycle_accounts ||
+                         !options.trace_path.empty() ||
+                         !options.metrics_path.empty();
+  std::unique_ptr<obs::Observer> observer;
+  if (observing) {
+    observer = std::make_unique<obs::Observer>(!options.trace_path.empty());
+    cfg.observer = observer.get();
+  }
+
   RtadSoc soc(cfg, &models.image(model), models.features.get());
 
   DetectionResult result;
@@ -281,6 +296,26 @@ DetectionResult measure_detection(const workloads::SpecProfile& profile,
   result.bus_errors = soc.mcm().bus().fault_errors();
   result.bus_fault_cycles = soc.mcm().bus().fault_cycles();
   if (auto* fi = soc.fault_injector()) result.fault_events = fi->total_fires();
+
+  if (observer != nullptr) {
+    result.cycle_accounts = observer->snapshot_accounts();
+    if (!options.trace_path.empty()) {
+      std::ofstream out(options.trace_path, std::ios::binary);
+      if (!out) {
+        throw std::runtime_error("cannot open RTAD_TRACE path: " +
+                                 options.trace_path);
+      }
+      observer->sink()->write_chrome_json(out);
+    }
+    if (!options.metrics_path.empty()) {
+      std::ofstream out(options.metrics_path, std::ios::binary);
+      if (!out) {
+        throw std::runtime_error("cannot open RTAD_METRICS path: " +
+                                 options.metrics_path);
+      }
+      write_metrics_json(out, result, stats, soc.simulator().domain_cycles());
+    }
+  }
   return result;
 }
 

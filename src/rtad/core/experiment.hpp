@@ -107,6 +107,11 @@ struct DetectionResult {
   std::uint64_t bus_fault_cycles = 0;       ///< injected bus latency total
   std::uint64_t irqs_lost = 0;              ///< swallowed anomaly IRQs
   std::uint64_t fault_events = 0;           ///< injector fires, all sites
+
+  /// Per-component cycle accounts (empty unless the run enabled the
+  /// observability layer). For every attached component the buckets sum to
+  /// the component's domain-cycle count, independent of scheduler mode.
+  std::vector<obs::ComponentCycles> cycle_accounts;
 };
 
 struct DetectionOptions {
@@ -130,6 +135,18 @@ struct DetectionOptions {
   /// SocConfig). nullopt or an all-zero plan leaves every result field
   /// byte-identical to a fault-free build.
   std::optional<fault::FaultPlan> faults = fault::plan_from_env();
+
+  // --- observability (all off by default; the run is byte-identical with
+  // the layer disabled) ---
+  /// Write a Chrome-trace/Perfetto JSON of the run here (defaults to
+  /// RTAD_TRACE). Empty disables span/counter tracing entirely.
+  std::string trace_path = obs::trace_path_from_env();
+  /// Write machine-readable run metrics (stable-key JSON) here (defaults
+  /// to RTAD_METRICS). Empty disables the export.
+  std::string metrics_path = obs::metrics_path_from_env();
+  /// Collect per-component cycle accounts into
+  /// DetectionResult::cycle_accounts even when no file export is set.
+  bool cycle_accounts = false;
 };
 
 DetectionResult measure_detection(const workloads::SpecProfile& profile,

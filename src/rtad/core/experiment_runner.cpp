@@ -1,9 +1,28 @@
 #include "rtad/core/experiment_runner.hpp"
 
+#include <stdexcept>
+
 #include "rtad/core/report.hpp"
+#include "rtad/obs/observer.hpp"
 #include "rtad/sim/time.hpp"
 
 namespace rtad::core {
+
+namespace {
+
+/// Bugfix: these tables used to silently truncate to the shorter of the two
+/// lists, hiding dropped results (or mislabelled rows) from the caller.
+void check_paired(const char* what, std::size_t n_cells,
+                  std::size_t n_results) {
+  if (n_cells != n_results) {
+    throw std::invalid_argument(
+        std::string(what) + ": cells/results size mismatch (" +
+        std::to_string(n_cells) + " cells vs " + std::to_string(n_results) +
+        " results)");
+  }
+}
+
+}  // namespace
 
 TrainedModelCache::TrainedModelCache(TrainingOptions options,
                                      ProfileResolver resolver)
@@ -39,13 +58,22 @@ ExperimentRunner::ExperimentRunner(std::size_t jobs,
 
 std::vector<CellResult> ExperimentRunner::run_detection_matrix(
     const std::vector<DetectionCell>& cells) {
-  return run_indexed(cells.size(), [this, &cells](std::size_t i) {
+  const bool multi_cell = cells.size() > 1;
+  return run_indexed(cells.size(), [this, &cells, multi_cell](std::size_t i) {
     const auto& cell = cells[i];
     const auto t0 = std::chrono::steady_clock::now();
     const auto& models = cache_->get(cell.benchmark);
+    DetectionOptions options = cell.options;
+    if (multi_cell) {
+      // A shared export path (e.g. one RTAD_TRACE for the whole matrix)
+      // would be clobbered by concurrently finishing cells; suffix with the
+      // submission index so names and contents are worker-count-stable.
+      options.trace_path = obs::indexed_path(options.trace_path, i);
+      options.metrics_path = obs::indexed_path(options.metrics_path, i);
+    }
     CellResult out;
     out.detection = measure_detection(cache_->profile(cell.benchmark), models,
-                                      cell.model, cell.engine, cell.options);
+                                      cell.model, cell.engine, options);
     out.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
@@ -56,10 +84,11 @@ std::vector<CellResult> ExperimentRunner::run_detection_matrix(
 void ExperimentRunner::print_cell_costs(
     std::ostream& os, const std::vector<DetectionCell>& cells,
     const std::vector<CellResult>& results) const {
+  check_paired("print_cell_costs", cells.size(), results.size());
   Table table({"Benchmark", "Model", "Engine", "sim (ms)", "wall (ms)",
                "sim/wall", "inferences"});
   double total_wall_ms = 0.0;
-  for (std::size_t i = 0; i < cells.size() && i < results.size(); ++i) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& r = results[i];
     const double sim_ms =
         static_cast<double>(r.detection.simulated_ps) / sim::kPsPerMs;
@@ -80,10 +109,11 @@ void ExperimentRunner::print_cell_costs(
 void ExperimentRunner::print_health(std::ostream& os,
                                     const std::vector<DetectionCell>& cells,
                                     const std::vector<CellResult>& results) {
+  check_paired("print_health", cells.size(), results.size());
   Table table({"Benchmark", "Model", "Engine", "corrupt", "bad_pkt", "resync",
                "ta_drop", "fifo_drop", "mcm_rec", "stalls", "bus_err",
                "irq_lost"});
-  for (std::size_t i = 0; i < cells.size() && i < results.size(); ++i) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& d = results[i].detection;
     table.add_row({cells[i].benchmark, to_string(cells[i].model),
                    to_string(cells[i].engine),
@@ -94,6 +124,27 @@ void ExperimentRunner::print_health(std::ostream& os,
                    fmt_count(d.bus_errors), fmt_count(d.irqs_lost)});
   }
   os << "Pipeline health (all counters are zero in fault-free runs):\n";
+  table.print(os);
+}
+
+void ExperimentRunner::print_cycle_accounts(
+    std::ostream& os, const std::vector<DetectionCell>& cells,
+    const std::vector<CellResult>& results) {
+  check_paired("print_cycle_accounts", cells.size(), results.size());
+  Table table({"Benchmark", "Model", "Engine", "Component", "Domain", "busy",
+               "idle", "st_fifo", "st_bus", "st_done", "total"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (const auto& acct : results[i].detection.cycle_accounts) {
+      table.add_row({cells[i].benchmark, to_string(cells[i].model),
+                     to_string(cells[i].engine), acct.component, acct.domain,
+                     fmt_count(acct.cycles.busy), fmt_count(acct.cycles.idle),
+                     fmt_count(acct.cycles.stall_fifo),
+                     fmt_count(acct.cycles.stall_bus),
+                     fmt_count(acct.cycles.stall_done),
+                     fmt_count(acct.cycles.total())});
+    }
+  }
+  os << "Cycle accounts (buckets sum to each component's domain cycles):\n";
   table.print(os);
 }
 

@@ -102,7 +102,10 @@ class ExperimentRunner {
   TrainedModelCache& cache() noexcept { return *cache_; }
 
   /// Fan the cells across the pool. results[i] corresponds to cells[i]
-  /// regardless of completion order or worker count.
+  /// regardless of completion order or worker count. When more than one
+  /// cell carries an RTAD_TRACE/RTAD_METRICS path, each cell's export is
+  /// suffixed with its submission index (obs::indexed_path) so racing
+  /// cells never clobber a shared file and names are worker-count-stable.
   std::vector<CellResult> run_detection_matrix(
       const std::vector<DetectionCell>& cells);
 
@@ -127,6 +130,7 @@ class ExperimentRunner {
   /// Per-cell cost table (simulated ms, wall ms, speed ratio, inferences)
   /// via core::Table. Wall-clock is non-deterministic, so benches print
   /// this to stderr to keep stdout byte-identical across RTAD_JOBS.
+  /// Throws std::invalid_argument if cells/results lengths differ.
   void print_cell_costs(std::ostream& os,
                         const std::vector<DetectionCell>& cells,
                         const std::vector<CellResult>& results) const;
@@ -134,9 +138,18 @@ class ExperimentRunner {
   /// Per-cell pipeline-health table (corruption, resync, drop and recovery
   /// counters from DetectionResult). Fully deterministic — fault benches
   /// print it to stdout as part of the byte-identity surface.
+  /// Throws std::invalid_argument if cells/results lengths differ.
   static void print_health(std::ostream& os,
                            const std::vector<DetectionCell>& cells,
                            const std::vector<CellResult>& results);
+
+  /// Per-component cycle-account table (busy/idle/stall buckets from the
+  /// observability layer). Rows appear only for cells run with accounts
+  /// enabled. Deterministic across scheduler modes and worker counts.
+  /// Throws std::invalid_argument if cells/results lengths differ.
+  static void print_cycle_accounts(std::ostream& os,
+                                   const std::vector<DetectionCell>& cells,
+                                   const std::vector<CellResult>& results);
 
  private:
   std::shared_ptr<TrainedModelCache> cache_;

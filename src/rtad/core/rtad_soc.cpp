@@ -158,6 +158,23 @@ RtadSoc::RtadSoc(SocConfig config, const ml::ModelImage* image,
     sim_.attach(fabric_clk, *mcm_);
     sim_.attach(gpu_clk, *gpu_);
   }
+
+  // --- observability (installed last, per the SocConfig contract, so
+  // construction and model-load traffic is outside the trace). Only
+  // attached components register accounts: detached modules never tick,
+  // and a permanently-zero account would break the buckets == domain
+  // cycles conservation check. ---
+  if (config_.observer != nullptr) {
+    obs::Observer& ob = *config_.observer;
+    cpu_->set_observability(ob, "cpu");
+    ptm_->set_observability(ob, "cpu");
+    if (mlpu_active) {
+      tpiu_->set_observability(ob, "mlpu");
+      igm_->set_observability(ob, "mlpu");
+      mcm_->set_observability(ob, "mlpu");
+      gpu_->set_observability(ob, "gpu");
+    }
+  }
 }
 
 RtadSoc::~RtadSoc() = default;

@@ -43,24 +43,43 @@ void Ptm::submit(const cpu::BranchEvent& event) {
   enqueue_bytes(scratch_, event);
 }
 
+void Ptm::set_observability(obs::Observer& ob, const std::string& domain) {
+  acct_ = ob.account(name(), domain);
+  if (ob.sink() != nullptr)
+    drain_trace_ = obs::TraceHandle(ob.sink(), ob.sink()->track("ptm.drain"));
+}
+
 void Ptm::tick() {
-  if (!config_.enabled) return;
+  if (!config_.enabled) {
+    obs::bump(acct_, obs::CycleBucket::kIdle);
+    return;
+  }
   ++cycles_since_drain_;
 
   if (!draining_) {
     const bool threshold_hit = trace_fifo_.size() >= config_.flush_threshold;
     const bool timeout = !trace_fifo_.empty() &&
                          cycles_since_drain_ >= config_.drain_timeout_cycles;
-    if (threshold_hit || timeout) draining_ = true;
+    if (threshold_hit || timeout) {
+      draining_ = true;
+      drain_trace_.begin("drain", sim_now());
+    }
   }
-  if (!draining_) return;
+  if (!draining_) {
+    obs::bump(acct_, obs::CycleBucket::kIdle);
+    return;
+  }
+  obs::bump(acct_, obs::CycleBucket::kBusy);
 
   for (std::uint32_t i = 0; i < config_.drain_width; ++i) {
     if (trace_fifo_.empty() || tx_fifo_.full()) break;
     tx_fifo_.push(*trace_fifo_.pop());
   }
   cycles_since_drain_ = 0;
-  if (trace_fifo_.empty()) draining_ = false;
+  if (trace_fifo_.empty()) {
+    draining_ = false;
+    drain_trace_.end(sim_now());
+  }
 }
 
 sim::WakeHint Ptm::next_wake() const {
@@ -87,7 +106,10 @@ sim::WakeHint Ptm::next_wake() const {
 
 void Ptm::on_cycles_skipped(sim::Cycle n) {
   // Replays `n` ticks in any skippable state: all of them only increment
-  // the timeout counter (uint32 wrap matches n consecutive ++'s).
+  // the timeout counter (uint32 wrap matches n consecutive ++'s). Every
+  // skippable tick is an idle one (disabled, empty, or timeout countdown),
+  // so the whole batch lands in the idle bucket — as dense would.
+  obs::bump(acct_, obs::CycleBucket::kIdle, n);
   if (config_.enabled) cycles_since_drain_ += static_cast<std::uint32_t>(n);
 }
 

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "rtad/coresight/pft_encoder.hpp"
 #include "rtad/cpu/branch_event.hpp"
+#include "rtad/obs/observer.hpp"
 #include "rtad/sim/component.hpp"
 #include "rtad/sim/fifo.hpp"
 #include "rtad/sim/time.hpp"
@@ -62,6 +64,9 @@ class Ptm final : public sim::Component {
   const PtmConfig& config() const noexcept { return config_; }
   void set_enabled(bool on) noexcept { config_.enabled = on; }
 
+  /// Register the cycle account and a span track for drain bursts.
+  void set_observability(obs::Observer& ob, const std::string& domain);
+
   std::uint64_t bytes_generated() const noexcept { return bytes_generated_; }
   std::uint64_t events_traced() const noexcept { return events_traced_; }
   std::uint64_t fifo_drops() const noexcept { return trace_fifo_.overflows(); }
@@ -75,6 +80,9 @@ class Ptm final : public sim::Component {
   sim::Fifo<TraceByte> trace_fifo_;  ///< on-chip buffering (threshold applies)
   sim::Fifo<TraceByte> tx_fifo_;     ///< handoff to TPIU
   std::vector<std::uint8_t> scratch_;
+
+  obs::CycleAccount* acct_ = nullptr;
+  obs::TraceHandle drain_trace_;
 
   bool draining_ = false;
   bool sent_initial_sync_ = false;

@@ -53,7 +53,16 @@ bool Tpiu::apply_faults(TraceByte& tb) {
 }
 
 void Tpiu::tick() {
-  if ((source_.empty() && !dup_pending_) || port_.full()) return;
+  // Bucket order mirrors on_cycles_skipped: port first (see header).
+  if (port_.full()) {
+    obs::bump(acct_, obs::CycleBucket::kStallFifo);
+    return;
+  }
+  if (source_.empty() && !dup_pending_) {
+    obs::bump(acct_, obs::CycleBucket::kIdle);
+    return;
+  }
+  obs::bump(acct_, obs::CycleBucket::kBusy);
   TpiuWord word;
   while (word.count < 4) {
     TraceByte tb;

@@ -17,8 +17,11 @@
 #include <array>
 #include <cstdint>
 
+#include <string>
+
 #include "rtad/coresight/ptm.hpp"
 #include "rtad/fault/fault_injector.hpp"
+#include "rtad/obs/observer.hpp"
 #include "rtad/sim/component.hpp"
 #include "rtad/sim/fifo.hpp"
 
@@ -55,6 +58,25 @@ class Tpiu final : public sim::Component {
   void tick() override;
   void reset() override;
 
+  /// Register this component's cycle account with the observability layer.
+  void set_observability(obs::Observer& ob, const std::string& domain) {
+    acct_ = ob.account(name(), domain);
+  }
+
+  /// Skipped ticks were all blocked: either the port was full (the IGM,
+  /// same domain, had not drained it — unchanged during the sleep) or the
+  /// source was empty for every replayed edge (a cross-domain push wakes
+  /// the domain at the first edge at or after the push, so replayed edges
+  /// strictly predate it). Check the port first: it is the predicate that
+  /// cannot have been mutated between the hint and the replay.
+  void on_cycles_skipped(sim::Cycle n) override {
+    if (acct_ == nullptr) return;
+    if (port_.full())
+      acct_->stall_fifo += n;
+    else
+      acct_->idle += n;
+  }
+
   /// Blocked while there is nothing to format (or nowhere to put it); the
   /// PTM tx FIFO's wake hook un-blocks the fabric domain on the first byte
   /// crossing over from the CPU domain. A pending duplicated byte counts
@@ -87,6 +109,7 @@ class Tpiu final : public sim::Component {
   sim::Fifo<TraceByte>& source_;
   sim::Fifo<TpiuWord> port_;
   fault::FaultInjector* faults_ = nullptr;
+  obs::CycleAccount* acct_ = nullptr;
   std::uint64_t words_emitted_ = 0;
 
   /// Duplicated byte awaiting insertion ahead of the next source byte.

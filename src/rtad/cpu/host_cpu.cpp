@@ -27,9 +27,16 @@ void HostCpu::fetch_next_step() {
   step_valid_ = true;
 }
 
+void HostCpu::set_observability(obs::Observer& ob, const std::string& domain) {
+  acct_ = ob.account(name(), domain);
+  if (ob.sink() != nullptr)
+    irq_trace_ = obs::TraceHandle(ob.sink(), ob.sink()->track("cpu.irq"));
+}
+
 void HostCpu::raise_irq(sim::Picoseconds now_ps) {
   ++irq_count_;
   last_irq_ps_ = now_ps;
+  irq_trace_.instant("irq", now_ps);
   if (irq_handler_) irq_handler_(now_ps);
   // The handler may have changed observable state while this domain sleeps
   // through a stall/gap window; force a re-tick so hints are re-collected.
@@ -62,6 +69,7 @@ sim::WakeHint HostCpu::next_wake() const {
 }
 
 void HostCpu::on_cycles_skipped(sim::Cycle n) {
+  obs::bump(acct_, obs::CycleBucket::kBusy, n);
   cycles_ += n;
   if (overhead_stall_ > 0) {
     overhead_stall_ -= n;
@@ -73,6 +81,7 @@ void HostCpu::on_cycles_skipped(sim::Cycle n) {
 }
 
 void HostCpu::tick() {
+  obs::bump(acct_, obs::CycleBucket::kBusy);
   ++cycles_;
 
   // Instrumentation stall cycles preempt program progress: the inserted

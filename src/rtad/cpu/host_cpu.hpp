@@ -12,8 +12,10 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "rtad/coresight/ptm.hpp"
+#include "rtad/obs/observer.hpp"
 #include "rtad/cpu/branch_event.hpp"
 #include "rtad/cpu/instrumentation.hpp"
 #include "rtad/sim/component.hpp"
@@ -95,12 +97,19 @@ class HostCpu final : public sim::Component {
 
   const HostCpuConfig& config() const noexcept { return config_; }
 
+  /// Register the cycle account and an IRQ marker track. The in-order core
+  /// never idles in this model — every cycle retires a program or an
+  /// instrumentation instruction — so all cycles land in the busy bucket.
+  void set_observability(obs::Observer& ob, const std::string& domain);
+
  private:
   void fetch_next_step();
 
   HostCpuConfig config_;
   StepSource& source_;
   coresight::Ptm* ptm_;
+  obs::CycleAccount* acct_ = nullptr;
+  obs::TraceHandle irq_trace_;
 
   workloads::TraceStep current_;
   std::uint32_t gap_remaining_ = 0;

@@ -66,11 +66,26 @@ void Gpu::launch(const LaunchConfig& launch) {
   dispatch_cooldown_ = config_.dispatch_latency;
   launch_active_ = true;
   launch_start_cycle_ = cycle_;
+  kernel_trace_.begin(launch.program->name, sim_now());
   // The GPU domain sleeps between launches; pull it back onto its edges.
   request_wake();
 }
 
+void Gpu::set_observability(obs::Observer& ob, const std::string& domain) {
+  acct_ = ob.account(name(), domain);
+  obs::TraceSink* sink = ob.sink();
+  if (sink == nullptr) return;
+  kernel_trace_ = obs::TraceHandle(sink, sink->track("gpu.kernel"));
+  cu_traces_.clear();
+  for (std::size_t i = 0; i < cus_.size(); ++i) {
+    cu_traces_.emplace_back(sink,
+                            sink->track("gpu.cu" + std::to_string(i)));
+  }
+}
+
 void Gpu::on_cycles_skipped(sim::Cycle n) {
+  // Skips only happen between launches, when every CU is idle.
+  obs::bump(acct_, obs::CycleBucket::kIdle, n);
   cycle_ += n;
   for (auto& cu : cus_) cu->skip_cycles(n);
 }
@@ -84,6 +99,8 @@ std::uint64_t Gpu::instructions_issued() const {
 }
 
 void Gpu::tick() {
+  obs::bump(acct_, launch_active_ ? obs::CycleBucket::kBusy
+                                  : obs::CycleBucket::kIdle);
   ++cycle_;
 
   if (launch_active_) {
@@ -92,10 +109,13 @@ void Gpu::tick() {
       --dispatch_cooldown_;
     }
     if (dispatch_cooldown_ == 0 && next_workgroup_ < workgroups_) {
-      for (auto& cu : cus_) {
-        if (cu->idle()) {
-          cu->start(WorkgroupTask{program_, next_workgroup_, waves_per_group_,
-                                  kernarg_addr_});
+      for (std::size_t i = 0; i < cus_.size(); ++i) {
+        ComputeUnit& cu = *cus_[i];
+        if (cu.idle()) {
+          cu.start(WorkgroupTask{program_, next_workgroup_, waves_per_group_,
+                                 kernarg_addr_});
+          if (i < cu_traces_.size())
+            cu_traces_[i].begin(program_->name, sim_now());
           ++next_workgroup_;
           ++groups_in_flight_;
           dispatch_cooldown_ = config_.dispatch_latency;
@@ -105,14 +125,18 @@ void Gpu::tick() {
     }
   }
 
-  for (auto& cu : cus_) {
-    if (cu->tick()) --groups_in_flight_;
+  for (std::size_t i = 0; i < cus_.size(); ++i) {
+    if (cus_[i]->tick()) {
+      --groups_in_flight_;
+      if (i < cu_traces_.size()) cu_traces_[i].end(sim_now());
+    }
   }
 
   if (launch_active_ && next_workgroup_ >= workgroups_ &&
       groups_in_flight_ == 0) {
     launch_active_ = false;
     last_launch_cycles_ = cycle_ - launch_start_cycle_;
+    kernel_trace_.end(sim_now());
     if (completion_hook_) completion_hook_();
   }
 }

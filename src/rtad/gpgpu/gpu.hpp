@@ -16,6 +16,7 @@
 
 #include "rtad/gpgpu/compute_unit.hpp"
 #include "rtad/gpgpu/device_memory.hpp"
+#include "rtad/obs/observer.hpp"
 #include "rtad/sim/component.hpp"
 
 namespace rtad::gpgpu {
@@ -93,6 +94,10 @@ class Gpu final : public sim::Component {
 
   const GpuConfig& config() const noexcept { return config_; }
 
+  /// Register the cycle account, a kernel-launch span track, and one
+  /// workgroup span track per compute unit.
+  void set_observability(obs::Observer& ob, const std::string& domain);
+
  private:
   GpuConfig config_;
   std::unique_ptr<DeviceMemory> mem_;
@@ -108,6 +113,10 @@ class Gpu final : public sim::Component {
   std::uint32_t kernarg_addr_ = 0;
   std::uint32_t dispatch_cooldown_ = 0;
   std::uint32_t groups_in_flight_ = 0;
+
+  obs::CycleAccount* acct_ = nullptr;
+  obs::TraceHandle kernel_trace_;
+  std::vector<obs::TraceHandle> cu_traces_;  ///< one per CU, indexed alike
 
   std::uint64_t cycle_ = 0;
   std::uint64_t launch_start_cycle_ = 0;

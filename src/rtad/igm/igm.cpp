@@ -19,8 +19,32 @@ void Igm::reset() {
   cycles_ = 0;
 }
 
+void Igm::set_observability(obs::Observer& ob, const std::string& domain) {
+  acct_ = ob.account(name(), domain);
+  obs::TraceSink* sink = ob.sink();
+  if (sink == nullptr) return;
+  active_trace_ = obs::TraceHandle(sink, sink->track("igm.active"));
+  obs::TraceHandle occ(sink, sink->counter_track("igm.out"));
+  out_.set_occupancy_hook(
+      [this, occ](std::size_t n) mutable {
+        occ.counter(static_cast<std::int64_t>(n), sim_now());
+      });
+}
+
 void Igm::tick() {
   ++cycles_;
+  // Bucket from start-of-tick state (a pure function of it, so dense and
+  // event modes agree): quiescent pipelines are idle, an IVG held up by a
+  // full vector FIFO toward the MCM is a downstream-FIFO stall, anything
+  // else is real pipeline work.
+  if (acct_ != nullptr) {
+    if (ta_.quiescent() && ta_.out().empty() && p2s_.out().empty())
+      ++acct_->idle;
+    else if (!p2s_.out().empty() && out_.full())
+      ++acct_->stall_fifo;
+    else
+      ++acct_->busy;
+  }
   // IVG stage: consume one address produced by the P2S last cycle.
   if (!p2s_.out().empty() && !out_.full()) {
     const DecodedBranch branch = *p2s_.out().pop();
@@ -38,6 +62,20 @@ void Igm::tick() {
   // Upstream stages (consumer-first evaluation).
   p2s_.tick();
   ta_.tick();
+  // Activity window spans open/close on the end-of-tick quiescence edge —
+  // the same predicate the wake hint uses, so the closing tick still fires
+  // under the event kernel and both modes record identical spans.
+  if (active_trace_) {
+    const bool quiescent =
+        ta_.quiescent() && ta_.out().empty() && p2s_.out().empty();
+    if (!quiescent && !traced_active_) {
+      active_trace_.begin("active", sim_now());
+      traced_active_ = true;
+    } else if (quiescent && traced_active_) {
+      active_trace_.end(sim_now());
+      traced_active_ = false;
+    }
+  }
 }
 
 }  // namespace rtad::igm

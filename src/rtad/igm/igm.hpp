@@ -12,8 +12,10 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "rtad/coresight/tpiu.hpp"
+#include "rtad/obs/observer.hpp"
 #include "rtad/igm/address_mapper.hpp"
 #include "rtad/igm/p2s.hpp"
 #include "rtad/igm/trace_analyzer.hpp"
@@ -58,8 +60,16 @@ class Igm final : public sim::Component {
     return quiescent ? sim::WakeHint::blocked() : sim::WakeHint::active();
   }
 
-  /// Skipped ticks only advance the local cycle counter.
-  void on_cycles_skipped(sim::Cycle n) override { cycles_ += n; }
+  /// Skipped ticks only advance the local cycle counter. They were all
+  /// quiescent-pipeline ticks, i.e. idle ones under dense accounting.
+  void on_cycles_skipped(sim::Cycle n) override {
+    obs::bump(acct_, obs::CycleBucket::kIdle, n);
+    cycles_ += n;
+  }
+
+  /// Register the cycle account, an activity span track, and an occupancy
+  /// counter on the vector FIFO toward the MCM.
+  void set_observability(obs::Observer& ob, const std::string& domain);
 
   std::uint64_t vectors_out() const noexcept { return vectors_out_; }
   std::uint64_t drops_at_output() const noexcept { return out_.overflows(); }
@@ -81,6 +91,9 @@ class Igm final : public sim::Component {
   AddressMapper mapper_;
   VectorEncoder encoder_;
   sim::Fifo<InputVector> out_;
+  obs::CycleAccount* acct_ = nullptr;
+  obs::TraceHandle active_trace_;
+  bool traced_active_ = false;  ///< an "active" span is currently open
   std::uint64_t vectors_out_ = 0;
   std::uint64_t cycles_ = 0;
   std::function<void(const InputVector&, sim::Picoseconds)> emit_observer_;

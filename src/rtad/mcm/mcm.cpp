@@ -53,6 +53,21 @@ void Mcm::write_payload_to_gpu(const igm::InputVector& vec) {
   bus_.write_burst(image->input_addr, vec.payload);
 }
 
+void Mcm::set_observability(obs::Observer& ob, const std::string& domain) {
+  acct_ = ob.account(name(), domain);
+  obs::TraceSink* sink = ob.sink();
+  if (sink == nullptr) return;
+  fsm_trace_ = obs::TraceHandle(sink, sink->track("mcm.fsm"));
+  traced_state_ = state_;
+  traced_since_ = sim_now();
+  obs::TraceHandle occ(sink, sink->counter_track("mcm.fifo"));
+  input_fifo_.set_occupancy_hook([this, occ](std::size_t n) mutable {
+    occ.counter(static_cast<std::int64_t>(n), sim_now());
+  });
+  bus_.set_trace(obs::TraceHandle(sink, sink->track("mcm.axi")),
+                 config_.clock_period_ps, [this] { return sim_now(); });
+}
+
 void Mcm::tick() {
   ++cycles_;
 
@@ -65,13 +80,18 @@ void Mcm::tick() {
   }
 
   if (stall_cycles_ > 0) {
+    obs::bump(acct_, stall_bucket_);
     --stall_cycles_;
-    return;
+    return;  // state cannot change during a stall; no span to update
   }
 
   switch (state_) {
     case McmState::kWaitInput:
-      if (driver_.model() == nullptr || input_fifo_.empty()) break;
+      if (driver_.model() == nullptr || input_fifo_.empty()) {
+        obs::bump(acct_, obs::CycleBucket::kStallFifo);
+        break;
+      }
+      obs::bump(acct_, obs::CycleBucket::kBusy);
       state_ = McmState::kReadInput;
       // Consumer-stall fault: the TX engine is held off the FIFO for a
       // while (e.g. the fabric arbiter starves it). Drawn once per vector
@@ -84,6 +104,7 @@ void Mcm::tick() {
       break;
 
     case McmState::kReadInput: {
+      obs::bump(acct_, obs::CycleBucket::kBusy);
       auto vec = input_fifo_.pop();
       if (!vec) {
         // Defensive: cannot happen today (kWaitInput verified occupancy and
@@ -98,6 +119,7 @@ void Mcm::tick() {
     }
 
     case McmState::kWriteInput: {
+      obs::bump(acct_, obs::CycleBucket::kBusy);
       write_payload_to_gpu(current_);
       last_tx_cycles_ =
           converter_.transfer_cycles(
@@ -105,6 +127,7 @@ void Mcm::tick() {
           bus_.consume_fault_penalty();
       driver_.begin_inference();
       stall_cycles_ = last_tx_cycles_;
+      stall_bucket_ = obs::CycleBucket::kStallBus;  // TX serialization
       // Decide now whether this inference's done indication is lost; the
       // GPU still runs to completion, the FSM just never sees it and the
       // watchdog must rescue the pipeline.
@@ -118,15 +141,19 @@ void Mcm::tick() {
     case McmState::kWaitDone: {
       const std::uint32_t setup = driver_.advance();
       if (setup > 0) {
+        obs::bump(acct_, obs::CycleBucket::kBusy);
         stall_cycles_ = setup;
+        stall_bucket_ = obs::CycleBucket::kBusy;  // driver/kernarg setup
         waitdone_cycles_ = 0;
         break;
       }
       if (driver_.inference_done() && !done_suppressed_) {
+        obs::bump(acct_, obs::CycleBucket::kBusy);
         waitdone_cycles_ = 0;
         state_ = McmState::kReadResult;
         break;
       }
+      obs::bump(acct_, obs::CycleBucket::kStallDone);
       ++waitdone_cycles_;
       if (config_.watchdog_cycles != 0 &&
           waitdone_cycles_ >= config_.watchdog_cycles && gpu_.idle()) {
@@ -141,6 +168,7 @@ void Mcm::tick() {
     }
 
     case McmState::kReadResult: {
+      obs::bump(acct_, obs::CycleBucket::kBusy);
       const auto* image = driver_.model();
       std::uint32_t flag_word = 0;
       std::uint32_t score_word = 0;
@@ -154,6 +182,7 @@ void Mcm::tick() {
       rec.completed_ps = local_time_ps();
       stall_cycles_ = converter_.transfer_cycles(2)  // RX engine: 2 words
                       + bus_.consume_fault_penalty();
+      stall_bucket_ = obs::CycleBucket::kStallBus;  // RX serialization
       ++completed_;
       if (rec.anomaly) {
         if (faults_ != nullptr && faults_->fire(FaultSite::kIrqLost)) {
@@ -170,6 +199,17 @@ void Mcm::tick() {
       state_ = McmState::kWaitInput;
       break;
     }
+  }
+
+  // Emit the residency span for the state we just left. Transitions only
+  // happen inside fired ticks, which both scheduler kernels fire at the
+  // same edges, so the span stream is mode-independent.
+  if (fsm_trace_ && state_ != traced_state_) {
+    const sim::Picoseconds now = sim_now();
+    fsm_trace_.complete(to_string(traced_state_), traced_since_,
+                        now - traced_since_);
+    traced_state_ = state_;
+    traced_since_ = now;
   }
 }
 
@@ -209,12 +249,21 @@ void Mcm::on_cycles_skipped(sim::Cycle n) {
   if (stall_cycles_ > 0) {
     const auto consumed = std::min<sim::Cycle>(stall_cycles_, n);
     stall_cycles_ -= static_cast<std::uint32_t>(consumed);
+    obs::bump(acct_, stall_bucket_, consumed);
     n -= consumed;
   }
   // Non-stall kWaitDone ticks are exactly the ones that would have bumped
   // the watchdog clock (the dense kernel increments it whether the GPU is
   // busy or the done indication is lost — both replay paths land here).
-  if (state_ == McmState::kWaitDone && n > 0) waitdone_cycles_ += n;
+  // Cycle accounting mirrors the dense tick path: kWaitDone waits are
+  // stalled-on-done, a starved kWaitInput is stalled-on-fifo (the only
+  // other state the hint lets the scheduler sleep in).
+  if (state_ == McmState::kWaitDone && n > 0) {
+    waitdone_cycles_ += n;
+    obs::bump(acct_, obs::CycleBucket::kStallDone, n);
+  } else if (n > 0) {
+    obs::bump(acct_, obs::CycleBucket::kStallFifo, n);
+  }
 }
 
 }  // namespace rtad::mcm

@@ -24,8 +24,10 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "rtad/bus/interconnect.hpp"
+#include "rtad/obs/observer.hpp"
 #include "rtad/fault/fault_injector.hpp"
 #include "rtad/gpgpu/gpu.hpp"
 #include "rtad/igm/igm.hpp"
@@ -118,6 +120,11 @@ class Mcm final : public sim::Component {
     return cycles_ * config_.clock_period_ps;
   }
 
+  /// Register the cycle account, an FSM state-residency span track, an
+  /// input-FIFO occupancy counter, and AXI transaction tracing on the
+  /// internal interconnect.
+  void set_observability(obs::Observer& ob, const std::string& domain);
+
  private:
   void write_payload_to_gpu(const igm::InputVector& vec);
 
@@ -132,6 +139,15 @@ class Mcm final : public sim::Component {
   sim::Fifo<igm::InputVector> input_fifo_;
   McmState state_ = McmState::kWaitInput;
   std::uint32_t stall_cycles_ = 0;  ///< busy cycles left in current phase
+  /// Bucket the cycles of the current stall window are charged to: set
+  /// whenever stall_cycles_ is loaded (bus transfer, injected FIFO stall,
+  /// driver setup) so the tick path and the skip replay attribute the
+  /// countdown identically.
+  obs::CycleBucket stall_bucket_ = obs::CycleBucket::kBusy;
+  obs::CycleAccount* acct_ = nullptr;
+  obs::TraceHandle fsm_trace_;
+  McmState traced_state_ = McmState::kWaitInput;
+  sim::Picoseconds traced_since_ = 0;
   igm::InputVector current_;
   std::uint32_t last_tx_cycles_ = 0;
 

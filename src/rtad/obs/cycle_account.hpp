@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtad::obs {
+
+/// Where a component spent one cycle of its clock domain. Classification is a
+/// pure function of component state at the tick edge, so the dense scheduler
+/// (which ticks every cycle) and the event scheduler (which replays skipped
+/// cycles in bulk via on_cycles_skipped) attribute identically.
+enum class CycleBucket : std::uint8_t {
+  kBusy = 0,       ///< doing architectural work this cycle
+  kIdle,           ///< nothing to do (quiescent, disabled, cooldown)
+  kStallFifo,      ///< waiting on a FIFO (starved upstream or injected stall)
+  kStallBus,       ///< serializing an AXI transfer
+  kStallDone,      ///< waiting for a done indication (e.g. MCM kWaitDone)
+};
+
+inline const char* to_string(CycleBucket b) {
+  switch (b) {
+    case CycleBucket::kBusy: return "busy";
+    case CycleBucket::kIdle: return "idle";
+    case CycleBucket::kStallFifo: return "stall_fifo";
+    case CycleBucket::kStallBus: return "stall_bus";
+    case CycleBucket::kStallDone: return "stall_done";
+  }
+  return "?";
+}
+
+/// Per-component cycle tally. Components hold a raw pointer (null when
+/// observability is off) and bump buckets inline; the whole layer costs one
+/// predictable null-check per tick when disabled.
+struct CycleAccount {
+  std::uint64_t busy = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t stall_fifo = 0;
+  std::uint64_t stall_bus = 0;
+  std::uint64_t stall_done = 0;
+
+  void add(CycleBucket b, std::uint64_t n = 1) {
+    switch (b) {
+      case CycleBucket::kBusy: busy += n; return;
+      case CycleBucket::kIdle: idle += n; return;
+      case CycleBucket::kStallFifo: stall_fifo += n; return;
+      case CycleBucket::kStallBus: stall_bus += n; return;
+      case CycleBucket::kStallDone: stall_done += n; return;
+    }
+  }
+
+  std::uint64_t total() const {
+    return busy + idle + stall_fifo + stall_bus + stall_done;
+  }
+};
+
+/// Snapshot of one component's account, labelled for reports and JSON export.
+struct ComponentCycles {
+  std::string component;
+  std::string domain;
+  CycleAccount cycles;
+};
+
+/// Bump helper so instrumented tick paths stay one line.
+inline void bump(CycleAccount* acct, CycleBucket b, std::uint64_t n = 1) {
+  if (acct != nullptr) acct->add(b, n);
+}
+
+}  // namespace rtad::obs

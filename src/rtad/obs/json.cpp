@@ -1,0 +1,125 @@
+#include "rtad/obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+namespace rtad::obs {
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c; break;
+    }
+  }
+}
+
+}  // namespace
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < has_elements_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::next_element() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value sits on the key's line
+  }
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) os_ << ',';
+    has_elements_.back() = true;
+    os_ << '\n';
+    indent();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  next_element();
+  os_ << '{';
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had = has_elements_.back();
+  has_elements_.pop_back();
+  if (had) {
+    os_ << '\n';
+    indent();
+  }
+  os_ << '}';
+  if (has_elements_.empty()) os_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  next_element();
+  os_ << '[';
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had = has_elements_.back();
+  has_elements_.pop_back();
+  if (had) {
+    os_ << '\n';
+    indent();
+  }
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  next_element();
+  os_ << '"';
+  write_escaped(os_, k);
+  os_ << "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  next_element();
+  os_ << '"';
+  write_escaped(os_, s);
+  os_ << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  next_element();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  next_element();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  next_element();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return *this;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  os_.write(buf, res.ptr - buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  next_element();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace rtad::obs

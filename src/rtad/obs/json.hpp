@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace rtad::obs {
+
+/// Minimal streaming JSON writer with insertion-ordered keys, two-space
+/// indentation, and deterministic number formatting (std::to_chars shortest
+/// round-trip for doubles, locale-independent), so emitted documents are
+/// byte-stable for identical inputs and diffable in CI.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes `"k": ` inside the current object; follow with a value call.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(double v);  // non-finite values emit null
+  JsonWriter& value(bool v);
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void next_element();  // comma/newline/indent bookkeeping for a new element
+  void indent();
+
+  std::ostream& os_;
+  std::vector<bool> has_elements_;  // per open scope
+  bool pending_key_ = false;        // value belongs to the key just written
+};
+
+}  // namespace rtad::obs

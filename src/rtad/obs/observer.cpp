@@ -1,0 +1,32 @@
+#include "rtad/obs/observer.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtad::obs {
+namespace {
+
+std::string env_path(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : std::string();
+}
+
+}  // namespace
+
+std::string trace_path_from_env() { return env_path("RTAD_TRACE"); }
+
+std::string metrics_path_from_env() { return env_path("RTAD_METRICS"); }
+
+std::string indexed_path(const std::string& base, std::size_t index) {
+  if (base.empty()) return base;
+  char suffix[16];
+  std::snprintf(suffix, sizeof suffix, ".cell%03zu", index);
+  const std::string ext = ".json";
+  if (base.size() > ext.size() &&
+      base.compare(base.size() - ext.size(), ext.size(), ext) == 0) {
+    return base.substr(0, base.size() - ext.size()) + suffix + ext;
+  }
+  return base + suffix;
+}
+
+}  // namespace rtad::obs

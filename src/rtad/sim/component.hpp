@@ -87,6 +87,10 @@ class Component {
   /// caller sampling a cycle counter); no-op when unattached or dense.
   void sync_domain();
 
+  /// Current global simulated time, for stamping trace events. Identical at
+  /// every fired edge across scheduler modes. Zero when unattached.
+  Picoseconds sim_now() const;
+
  private:
   friend class Simulator;
 

@@ -56,10 +56,21 @@ class Fifo {
     wake_hook_ = std::move(hook);
   }
 
-  /// Push that requires space; throws on overflow. For paths with real
-  /// backpressure where the producer checked `full()` first.
+  /// Install a hook invoked with the new size() whenever occupancy may have
+  /// changed (accepted push, non-empty pop, clear). The observability layer
+  /// registers a trace-counter emitter here; the sink dedups repeats, so a
+  /// kDropOldest overflow (size unchanged) costs nothing in the trace.
+  void set_occupancy_hook(std::function<void(std::size_t)> hook) {
+    occupancy_hook_ = std::move(hook);
+  }
+
+  /// Push that requires space; throws on overflow *under kDropNew only*.
+  /// Under kDropOldest a full-FIFO push is defined to evict the head and
+  /// succeed, so push and try_push agree on the same policy. For paths with
+  /// real backpressure where the producer checked `full()` first.
   void push(const T& item) {
-    if (full()) throw std::runtime_error("push into full FIFO");
+    if (full() && policy_ == DropPolicy::kDropNew)
+      throw std::runtime_error("push into full FIFO");
     try_push(item);
   }
 
@@ -67,12 +78,16 @@ class Fifo {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    if (occupancy_hook_) occupancy_hook_(items_.size());
     return item;
   }
 
   const T& front() const { return items_.front(); }
 
-  void clear() noexcept { items_.clear(); }
+  void clear() {
+    items_.clear();
+    if (occupancy_hook_) occupancy_hook_(0);
+  }
 
   /// Total push attempts (accepted + dropped).
   std::uint64_t pushes() const noexcept { return pushes_; }
@@ -104,6 +119,7 @@ class Fifo {
     }
     items_.push_back(std::forward<U>(item));
     high_watermark_ = std::max(high_watermark_, items_.size());
+    if (occupancy_hook_) occupancy_hook_(items_.size());
     if (wake_hook_) wake_hook_();
     return true;
   }
@@ -115,6 +131,7 @@ class Fifo {
   std::uint64_t overflows_ = 0;
   std::size_t high_watermark_ = 0;
   std::function<void()> wake_hook_;
+  std::function<void(std::size_t)> occupancy_hook_;
 };
 
 }  // namespace rtad::sim

@@ -24,6 +24,10 @@ void Component::request_wake() {
   if (sim_ != nullptr) sim_->wake_domain(domain_index_);
 }
 
+Picoseconds Component::sim_now() const {
+  return sim_ != nullptr ? sim_->now() : 0;
+}
+
 ClockDomain& Simulator::add_clock(std::string name, std::uint64_t freq_hz) {
   auto domain = std::make_unique<ClockDomain>(std::move(name), freq_hz);
   ClockDomain& ref = *domain;
@@ -357,6 +361,14 @@ bool Simulator::step_group(Picoseconds deadline_ps) {
   fire_group_at(t, /*forced=*/true);
   advance_to(now_ps_);
   return true;
+}
+
+std::vector<std::pair<std::string, Cycle>> Simulator::domain_cycles() const {
+  std::vector<std::pair<std::string, Cycle>> out;
+  out.reserve(domains_.size());
+  for (const auto& slot : domains_)
+    out.emplace_back(slot.domain->name(), slot.domain->cycles());
+  return out;
 }
 
 }  // namespace rtad::sim

@@ -30,6 +30,7 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rtad/sim/clock.hpp"
@@ -97,6 +98,11 @@ class Simulator {
 
   StatsRegistry& stats() noexcept { return stats_; }
   const StatsRegistry& stats() const noexcept { return stats_; }
+
+  /// Name and elapsed cycle count of every clock domain, in creation order.
+  /// Identical across scheduler modes at every run-API boundary (skipped
+  /// edges are caught up before control returns to the host).
+  std::vector<std::pair<std::string, Cycle>> domain_cycles() const;
 
  private:
   friend class Component;

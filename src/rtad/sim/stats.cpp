@@ -7,8 +7,11 @@ namespace rtad::sim {
 
 double Sampler::percentile(double q) const {
   // Validate before the empty-set early-out: an out-of-range q is a caller
-  // bug regardless of how many samples happen to be recorded.
-  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile out of range");
+  // bug regardless of how many samples happen to be recorded. NaN compares
+  // false against both bounds, so reject non-finite q explicitly — feeding
+  // NaN into ceil and the size_t cast below is undefined behaviour.
+  if (!std::isfinite(q) || q < 0.0 || q > 100.0)
+    throw std::invalid_argument("percentile out of range");
   if (samples_.empty()) return 0.0;
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());

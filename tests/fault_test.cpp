@@ -149,6 +149,29 @@ TEST(FifoDropPolicy, DropOldestEvictsTheHead) {
   EXPECT_EQ(*fifo.pop(), 3);
 }
 
+TEST(FifoDropPolicy, StrictPushHonorsDropOldest) {
+  // Regression: push() used to throw on a full FIFO regardless of policy,
+  // so a kDropOldest FIFO could never be strict-pushed past capacity even
+  // though its whole point is to accept new data by evicting the head.
+  sim::Fifo<int> fifo(2, sim::DropPolicy::kDropOldest);
+  fifo.push(1);
+  fifo.push(2);
+  fifo.push(3);  // must not throw: 1 is evicted instead
+  EXPECT_EQ(fifo.overflows(), 1u);
+  EXPECT_EQ(fifo.size(), 2u);
+  EXPECT_EQ(*fifo.pop(), 2);
+  EXPECT_EQ(*fifo.pop(), 3);
+}
+
+TEST(FifoDropPolicy, StrictPushStillThrowsUnderDropNew) {
+  sim::Fifo<int> fifo(1);  // kDropNew default
+  fifo.push(1);
+  EXPECT_THROW(fifo.push(2), std::runtime_error);
+  // The overflow throw does not corrupt the queue.
+  EXPECT_EQ(fifo.size(), 1u);
+  EXPECT_EQ(*fifo.pop(), 1);
+}
+
 TEST(FifoDropPolicy, RvaluePushMovesTheItem) {
   sim::Fifo<std::unique_ptr<int>> fifo(1);
   EXPECT_TRUE(fifo.try_push(std::make_unique<int>(42)));

@@ -1,6 +1,8 @@
 // Simulation-kernel unit tests: clocks, scheduler, FIFOs, RNG, stats.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "rtad/sim/clock.hpp"
 #include "rtad/sim/fifo.hpp"
 #include "rtad/sim/rng.hpp"
@@ -516,6 +518,22 @@ TEST(Stats, PercentileEmptySamplerIsZeroButStillValidatesQ) {
   // Out-of-range q is a caller bug even with no samples recorded.
   EXPECT_THROW(s.percentile(-0.1), std::invalid_argument);
   EXPECT_THROW(s.percentile(100.1), std::invalid_argument);
+}
+
+TEST(Stats, PercentileRejectsNonFiniteQ) {
+  // Regression: NaN compares false against both range bounds, so it used to
+  // slip past the guard and feed std::ceil + a size_t cast (UB). Any
+  // non-finite q must be rejected like an out-of-range one.
+  Sampler s;
+  s.record(1.0);
+  s.record(2.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(s.percentile(nan), std::invalid_argument);
+  EXPECT_THROW(s.percentile(inf), std::invalid_argument);
+  EXPECT_THROW(s.percentile(-inf), std::invalid_argument);
+  Sampler empty;
+  EXPECT_THROW(empty.percentile(nan), std::invalid_argument);
 }
 
 TEST(Stats, PercentileSingleSampleIsThatSampleEverywhere) {
