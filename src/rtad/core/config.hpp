@@ -53,9 +53,9 @@ struct SocConfig {
   std::uint32_t gpu_dispatch_latency = 8;
   std::optional<attack::AttackConfig> attack;
   /// Deterministic fault plan; defaults to the RTAD_FAULTS environment
-  /// variable. A nullopt (or all-zero) plan leaves the pipeline
-  /// byte-identical to a build without the fault layer.
-  std::optional<fault::FaultPlan> faults = fault::plan_from_env();
+  /// variable (resolved once per process). A nullopt (or all-zero) plan
+  /// leaves the pipeline byte-identical to a build without the fault layer.
+  std::optional<fault::FaultPlan> faults = fault::default_plan();
   /// Scheduling kernel (dense reference vs. idle-aware event-driven);
   /// overridable per-process with RTAD_SCHED=dense|event.
   sim::SchedMode sched = sim::default_sched_mode();

@@ -1,0 +1,305 @@
+#include "rtad/core/detection_session.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "rtad/core/metrics_export.hpp"
+
+namespace rtad::core {
+
+namespace {
+
+constexpr sim::Picoseconds kForever = ~sim::Picoseconds{0};
+
+/// now + budget with saturation (advance(kForever) must not wrap).
+sim::Picoseconds saturating_add(sim::Picoseconds now,
+                                sim::Picoseconds budget) {
+  return budget > kForever - now ? kForever : now + budget;
+}
+
+}  // namespace
+
+DetectionSession::DetectionSession(const workloads::SpecProfile& profile,
+                                   const TrainedModels& models,
+                                   ModelKind model, EngineKind engine,
+                                   DetectionOptions options)
+    : options_(std::move(options)), model_(model) {
+  workloads::SpecProfile run_profile = profile;
+  if (model == ModelKind::kElm) {
+    run_profile.syscall_interval_instrs =
+        std::min(run_profile.syscall_interval_instrs,
+                 options_.elm_syscall_interval_cap);
+  }
+
+  SocConfig cfg;
+  cfg.profile = run_profile;
+  cfg.model = model;
+  cfg.engine = engine;
+  cfg.seed = options_.seed;
+  attack::AttackConfig atk;
+  atk.burst_events = options_.burst_events;
+  atk.gap_instructions = model == ModelKind::kElm ? 40 : 3;
+  if (model == ModelKind::kElm) {
+    // A syscall storm: the exploit loops on one (legitimate) syscall, the
+    // fastest-detected realistic aberration for a histogram model.
+    atk.repeat_single = true;
+    atk.burst_events = std::max<std::uint32_t>(
+        options_.burst_events, models.features->config().elm_window + 8);
+  }
+  atk.seed = options_.seed ^ 0xA77AC4;
+  cfg.attack = atk;
+  cfg.sched = options_.sched;
+  cfg.faults = options_.faults;
+
+  // Observability: the Observer exists only when the run asked for it, so
+  // disabled runs never leave the instrumentation's null-pointer fast path.
+  const bool observing = options_.cycle_accounts ||
+                         !options_.trace_path.empty() ||
+                         !options_.metrics_path.empty();
+  if (observing) {
+    observer_ = std::make_unique<obs::Observer>(!options_.trace_path.empty());
+    cfg.observer = observer_.get();
+  }
+
+  soc_ = std::make_unique<RtadSoc>(cfg, &models.image(model),
+                                   models.features.get());
+
+  result_.benchmark = profile.name;
+  result_.model = model;
+  result_.engine = engine;
+
+  soc_->mcm().set_inference_observer(
+      [this](const mcm::InferenceRecord& rec) { on_inference(rec); });
+
+  // Warm up: let the window/state fill and the engine settle.
+  warm_target_ = model == ModelKind::kElm ? 48 : 12;
+  phase_deadline_ = 600 * sim::kPsPerMs;
+}
+
+DetectionSession::~DetectionSession() = default;
+
+void DetectionSession::on_inference(const mcm::InferenceRecord& rec) {
+  std::uint32_t score_bits;
+  std::memcpy(&score_bits, &rec.score, sizeof(score_bits));
+  for (int shift = 0; shift < 32; shift += 8) {
+    score_digest_ ^= (score_bits >> shift) & 0xFFu;
+    score_digest_ *= 1099511628211ULL;
+  }
+  if (attack_live_ && rec.injected && !saw_injected_) {
+    saw_injected_ = true;
+    first_injected_ps_ = rec.event_retired_ps;
+  }
+  // A suppressed IRQ never reaches the host: the detection (or false
+  // positive) silently vanishes, which is exactly the degradation the
+  // fault sweep quantifies.
+  if (rec.anomaly && !rec.irq_suppressed) {
+    ++anomaly_flags_;
+    if (attack_live_ && saw_injected_ && !detected_ &&
+        rec.completed_ps - first_injected_ps_ <
+            options_.attribution_window_ps) {
+      detected_ = true;
+      detect_ps_ = rec.completed_ps;
+    } else if (!attack_live_) {
+      ++false_positives_;
+    }
+  }
+}
+
+bool DetectionSession::advance(sim::Picoseconds budget_ps) {
+  if (phase_ == Phase::kDone) return false;
+  auto& sim = soc_->simulator();
+  const sim::Picoseconds limit = saturating_add(sim.now(), budget_ps);
+  // Each iteration runs the current phase to its own deadline or the budget
+  // limit, whichever is nearer; phase exits chain inside one advance() so a
+  // generous budget crosses as many phases as it covers.
+  while (phase_ != Phase::kDone) {
+    const sim::Picoseconds stop_at = std::min(limit, phase_deadline_);
+    switch (phase_) {
+      case Phase::kWarmup: {
+        soc_->run_while(
+            [this] {
+              return soc_->mcm().inferences_completed() < warm_target_;
+            },
+            stop_at);
+        if (soc_->mcm().inferences_completed() < warm_target_ &&
+            sim.now() < phase_deadline_) {
+          return true;  // budget exhausted mid-phase
+        }
+        false_positives_ = 0;  // warm-up flags are expected; not counted
+        begin_attack_round();
+        break;
+      }
+      case Phase::kAwaitSignal: {
+        soc_->run_while([this] { return !detected_ && !saw_injected_; },
+                        stop_at);
+        if (!detected_ && !saw_injected_ && sim.now() < phase_deadline_) {
+          return true;
+        }
+        if (!detected_ && saw_injected_) {
+          // Two-phase wait, equivalent to polling "detected, or the
+          // attribution window closed" after every edge group, but phrased
+          // so the deadline of each phase is known up front — the event
+          // kernel can then sleep through quiescent stretches instead of
+          // waking per group to re-check a time-based predicate.
+          window_end_ = first_injected_ps_ + options_.attribution_window_ps;
+          phase_ = Phase::kAwaitWindow;
+          phase_deadline_ = std::min(attack_deadline_, window_end_);
+        } else {
+          finish_attack();
+        }
+        break;
+      }
+      case Phase::kAwaitWindow: {
+        soc_->run_while([this] { return !detected_; }, stop_at);
+        if (!detected_ && sim.now() < phase_deadline_) {
+          return true;
+        }
+        // The dense poll fires exactly one group past the window before it
+        // observes the miss (predicates are checked between groups); replay
+        // that overshoot so both kernels — and any chunk size — stop on the
+        // same edge.
+        if (!detected_ && sim.now() <= window_end_) {
+          soc_->step(attack_deadline_);
+        }
+        finish_attack();
+        break;
+      }
+      case Phase::kCooldown: {
+        soc_->run_while(
+            [this] {
+              return soc_->mcm().inferences_completed() < settle_target_ ||
+                     soc_->mcm().fifo_occupancy() > 0;
+            },
+            stop_at);
+        if ((soc_->mcm().inferences_completed() < settle_target_ ||
+             soc_->mcm().fifo_occupancy() > 0) &&
+            sim.now() < phase_deadline_) {
+          return true;
+        }
+        begin_attack_round();
+        break;
+      }
+      case Phase::kDone:
+        break;
+    }
+  }
+  return false;
+}
+
+void DetectionSession::run_to_completion() {
+  while (advance(kForever)) {
+  }
+}
+
+void DetectionSession::begin_attack_round() {
+  if (attacks_done_ >= options_.attacks) {
+    finalize();
+    phase_ = Phase::kDone;
+    return;
+  }
+  attack_live_ = true;
+  saw_injected_ = false;
+  detected_ = false;
+  soc_->arm_attack(soc_->host_cpu().program_instructions() + 10'000);
+  attack_deadline_ = soc_->simulator().now() + options_.attack_deadline_ps;
+  phase_ = Phase::kAwaitSignal;
+  phase_deadline_ = attack_deadline_;
+}
+
+void DetectionSession::finish_attack() {
+  ++attacks_done_;
+  ++result_.attacks;
+  if (detected_ && detect_ps_ > first_injected_ps_) {
+    ++result_.detections;
+    latency_us_.record(sim::to_us(detect_ps_ - first_injected_ps_));
+  }
+  attack_live_ = false;
+  // Cool-down: let scores decay, the window refill with normal traffic,
+  // and the input queue drain fully so the next attack starts from a
+  // quiescent MLPU (the paper measures per-attack judgment latency, not
+  // queueing behind a previous incident).
+  settle_target_ = soc_->mcm().inferences_completed() +
+                   (model_ == ModelKind::kElm ? 40 : 16);
+  phase_ = Phase::kCooldown;
+  phase_deadline_ = soc_->simulator().now() + options_.attack_deadline_ps;
+}
+
+void DetectionSession::finalize() {
+  result_.mean_latency_us = latency_us_.mean();
+  result_.min_latency_us = latency_us_.min();
+  result_.max_latency_us = latency_us_.max();
+  result_.fifo_drops =
+      soc_->mcm().fifo_drops() + soc_->igm().drops_at_output();
+  result_.false_positives = false_positives_;
+  result_.inferences = soc_->mcm().inferences_completed();
+  result_.score_digest = score_digest_;
+  result_.simulated_ps = soc_->simulator().now();
+  auto& stats = soc_->simulator().stats();
+  result_.skipped_edge_groups =
+      stats.counter("sim.skipped_edge_groups").value();
+  for (const char* domain : {"cpu", "mlpu", "gpu"}) {
+    result_.skipped_cycles +=
+        stats.counter(std::string("sim.skipped_cycles.") + domain).value();
+  }
+
+  // Pipeline health: every counter is zero in a fault-free run, so these
+  // reads do not perturb the byte-identity surface.
+  result_.trace_bytes_corrupted = soc_->tpiu().corrupted_bytes();
+  const auto& ta = soc_->igm().trace_analyzer();
+  result_.decode_bad_packets = ta.decoder().bad_packets();
+  result_.decode_resyncs = ta.decoder().resyncs();
+  result_.ta_dropped_branches = ta.dropped_branches();
+  result_.mcm_recoveries = soc_->mcm().recoveries();
+  result_.mcm_stalls_injected = soc_->mcm().stalls_injected();
+  result_.irqs_lost = soc_->mcm().irqs_lost();
+  result_.bus_errors = soc_->mcm().bus().fault_errors();
+  result_.bus_fault_cycles = soc_->mcm().bus().fault_cycles();
+  if (auto* fi = soc_->fault_injector()) {
+    result_.fault_events = fi->total_fires();
+  }
+
+  if (observer_ != nullptr) {
+    result_.cycle_accounts = observer_->snapshot_accounts();
+    if (!options_.trace_path.empty()) {
+      std::ofstream out(options_.trace_path, std::ios::binary);
+      if (!out) {
+        throw std::runtime_error("cannot open RTAD_TRACE path: " +
+                                 options_.trace_path);
+      }
+      observer_->sink()->write_chrome_json(out);
+    }
+    if (!options_.metrics_path.empty()) {
+      std::ofstream out(options_.metrics_path, std::ios::binary);
+      if (!out) {
+        throw std::runtime_error("cannot open RTAD_METRICS path: " +
+                                 options_.metrics_path);
+      }
+      write_metrics_json(out, result_, stats,
+                         soc_->simulator().domain_cycles());
+    }
+  }
+}
+
+sim::Picoseconds DetectionSession::now() const noexcept {
+  return soc_->simulator().now();
+}
+
+std::uint64_t DetectionSession::inferences() const noexcept {
+  return soc_->mcm().inferences_completed();
+}
+
+std::uint64_t DetectionSession::irqs_fired() const noexcept {
+  return soc_->mcm().interrupts_fired();
+}
+
+const DetectionResult& DetectionSession::result() const {
+  if (phase_ != Phase::kDone) {
+    throw std::logic_error(
+        "DetectionSession::result: session still in flight");
+  }
+  return result_;
+}
+
+}  // namespace rtad::core

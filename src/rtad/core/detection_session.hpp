@@ -1,0 +1,129 @@
+// Streaming detection session — the incremental form of measure_detection.
+//
+// A DetectionSession owns one RtadSoc plus the experiment state machine
+// behind the paper's Fig. 8 run (warm-up, N attack/cool-down rounds, final
+// counter harvest) and exposes it as a resumable object: advance() runs at
+// most a caller-chosen slice of simulated time, then returns with the SoC
+// parked at a run-API boundary (dense-visible state — see sim::Simulator).
+// Between calls the caller can poll verdicts (anomaly_flags(),
+// inferences(), irqs_fired()) exactly as a host OS would poll the MCM's
+// interrupt status while the monitored program keeps running.
+//
+// Determinism contract: pausing between edge groups cannot perturb which
+// edges fire or what any component computes, so a chunk-fed session retires
+// a bit-identical inference stream to the one-shot path — for ANY chunk
+// size, under both scheduler kernels. core::measure_detection is literally
+// "construct + run_to_completion() + result()", and tests/serve_test.cpp
+// holds chunked and one-shot runs byte-identical (score digest, counters,
+// simulated time, metrics export). The only fields outside the contract are
+// the sim.skipped* diagnostics: chunk boundaries force the event kernel to
+// catch sleeping domains up, so the *grouping* of skips differs even though
+// the replayed component state does not.
+//
+// The serve layer (src/rtad/serve/) multiplexes many sessions over shard
+// lanes by round-robining advance() quanta: that is what "streaming
+// multi-tenant detection" means for a discrete-event reproduction — tenant
+// trace streams progress concurrently in virtual time with bounded chunks,
+// instead of each tenant monopolizing a host thread end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "rtad/core/experiment.hpp"
+
+namespace rtad::core {
+
+class DetectionSession {
+ public:
+  /// Builds the SoC (model image + feature tables from `models`) and arms
+  /// the experiment exactly as measure_detection always did; no simulated
+  /// time passes until the first advance().
+  DetectionSession(const workloads::SpecProfile& profile,
+                   const TrainedModels& models, ModelKind model,
+                   EngineKind engine, DetectionOptions options = {});
+  ~DetectionSession();
+
+  DetectionSession(const DetectionSession&) = delete;
+  DetectionSession& operator=(const DetectionSession&) = delete;
+
+  /// Advance the run by at most `budget_ps` of simulated time, then park at
+  /// a run-API boundary. Phase-exit bookkeeping may overshoot by one edge
+  /// group — the same one-group overshoot the one-shot driver performs when
+  /// an attribution window closes. Returns true while work remains.
+  bool advance(sim::Picoseconds budget_ps);
+
+  /// Drive the session to the end in one call (the one-shot path).
+  void run_to_completion();
+
+  bool done() const noexcept { return phase_ == Phase::kDone; }
+
+  // --- streaming polls (valid at any point in the session's life) ---
+  /// Session-local simulated time.
+  sim::Picoseconds now() const noexcept;
+  /// Inferences retired by the MLPU so far.
+  std::uint64_t inferences() const noexcept;
+  /// Anomaly verdicts that reached the host so far (IRQ not suppressed),
+  /// warm-up included.
+  std::uint64_t anomaly_flags() const noexcept { return anomaly_flags_; }
+  /// Anomaly IRQs actually fired toward the host CPU so far.
+  std::uint64_t irqs_fired() const noexcept;
+  /// Attack rounds fully finished (detection outcome recorded).
+  std::size_t attacks_completed() const noexcept { return attacks_done_; }
+
+  /// The assembled SoC (module probes, exactly like the one-shot drivers).
+  RtadSoc& soc() noexcept { return *soc_; }
+
+  /// Final result; throws std::logic_error unless done(). Counter harvest
+  /// and any trace/metrics export happen once, when the last phase ends.
+  const DetectionResult& result() const;
+
+ private:
+  enum class Phase : std::uint8_t {
+    kWarmup,       ///< fill windows/state; false positives not counted
+    kAwaitSignal,  ///< attack armed, waiting for taint or verdict
+    kAwaitWindow,  ///< taint seen, waiting out the attribution window
+    kCooldown,     ///< scores decay, queues drain to a quiescent MLPU
+    kDone,
+  };
+
+  void on_inference(const mcm::InferenceRecord& rec);
+  /// Arm the next attack round, or finalize when all rounds are done.
+  void begin_attack_round();
+  /// Record the round's outcome and enter the cool-down phase.
+  void finish_attack();
+  /// Harvest counters into result_ and write any configured exports.
+  void finalize();
+
+  DetectionOptions options_;
+  ModelKind model_;
+  std::unique_ptr<obs::Observer> observer_;  ///< before soc_: outlives runs
+  std::unique_ptr<RtadSoc> soc_;
+
+  Phase phase_ = Phase::kWarmup;
+  /// Absolute time at which the current phase gives up (warm-up cap,
+  /// attack deadline, window close, cool-down cap).
+  sim::Picoseconds phase_deadline_ = 0;
+  std::size_t warm_target_ = 0;
+
+  // Per-attack-round state (mirrors the one-shot driver's locals).
+  bool attack_live_ = false;
+  bool saw_injected_ = false;
+  bool detected_ = false;
+  sim::Picoseconds first_injected_ps_ = 0;
+  sim::Picoseconds detect_ps_ = 0;
+  sim::Picoseconds attack_deadline_ = 0;
+  sim::Picoseconds window_end_ = 0;
+  std::uint64_t settle_target_ = 0;
+  std::size_t attacks_done_ = 0;
+
+  // Run-wide accumulators.
+  std::uint64_t false_positives_ = 0;
+  std::uint64_t anomaly_flags_ = 0;
+  std::uint64_t score_digest_ = 14695981039346656037ULL;  ///< FNV-1a basis
+  sim::Sampler latency_us_;
+
+  DetectionResult result_;
+};
+
+}  // namespace rtad::core

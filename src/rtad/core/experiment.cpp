@@ -1,11 +1,8 @@
 #include "rtad/core/experiment.hpp"
 
 #include <algorithm>
-#include <cstring>
-#include <fstream>
-#include <stdexcept>
 
-#include "rtad/core/metrics_export.hpp"
+#include "rtad/core/detection_session.hpp"
 
 namespace rtad::core {
 
@@ -137,186 +134,9 @@ DetectionResult measure_detection(const workloads::SpecProfile& profile,
                                   const TrainedModels& models, ModelKind model,
                                   EngineKind engine,
                                   const DetectionOptions& options) {
-  workloads::SpecProfile run_profile = profile;
-  if (model == ModelKind::kElm) {
-    run_profile.syscall_interval_instrs = std::min(
-        run_profile.syscall_interval_instrs, options.elm_syscall_interval_cap);
-  }
-
-  SocConfig cfg;
-  cfg.profile = run_profile;
-  cfg.model = model;
-  cfg.engine = engine;
-  cfg.seed = options.seed;
-  attack::AttackConfig atk;
-  atk.burst_events = options.burst_events;
-  atk.gap_instructions = model == ModelKind::kElm ? 40 : 3;
-  if (model == ModelKind::kElm) {
-    // A syscall storm: the exploit loops on one (legitimate) syscall, the
-    // fastest-detected realistic aberration for a histogram model.
-    atk.repeat_single = true;
-    atk.burst_events = std::max<std::uint32_t>(
-        options.burst_events, models.features->config().elm_window + 8);
-  }
-  atk.seed = options.seed ^ 0xA77AC4;
-  cfg.attack = atk;
-  cfg.sched = options.sched;
-  cfg.faults = options.faults;
-
-  // Observability: the Observer exists only when the run asked for it, so
-  // disabled runs never leave the instrumentation's null-pointer fast path.
-  const bool observing = options.cycle_accounts ||
-                         !options.trace_path.empty() ||
-                         !options.metrics_path.empty();
-  std::unique_ptr<obs::Observer> observer;
-  if (observing) {
-    observer = std::make_unique<obs::Observer>(!options.trace_path.empty());
-    cfg.observer = observer.get();
-  }
-
-  RtadSoc soc(cfg, &models.image(model), models.features.get());
-
-  DetectionResult result;
-  result.benchmark = profile.name;
-  result.model = model;
-  result.engine = engine;
-
-  bool attack_live = false;
-  bool saw_injected = false;
-  bool detected = false;
-  sim::Picoseconds first_injected_ps = 0;
-  sim::Picoseconds detect_ps = 0;
-  std::uint64_t false_positives = 0;
-  std::uint64_t score_digest = 14695981039346656037ULL;  // FNV-1a basis
-
-  soc.mcm().set_inference_observer([&](const mcm::InferenceRecord& rec) {
-    std::uint32_t score_bits;
-    std::memcpy(&score_bits, &rec.score, sizeof(score_bits));
-    for (int shift = 0; shift < 32; shift += 8) {
-      score_digest ^= (score_bits >> shift) & 0xFFu;
-      score_digest *= 1099511628211ULL;
-    }
-    if (attack_live && rec.injected && !saw_injected) {
-      saw_injected = true;
-      first_injected_ps = rec.event_retired_ps;
-    }
-    // A suppressed IRQ never reaches the host: the detection (or false
-    // positive) silently vanishes, which is exactly the degradation the
-    // fault sweep quantifies.
-    if (rec.anomaly && !rec.irq_suppressed) {
-      if (attack_live && saw_injected && !detected &&
-          rec.completed_ps - first_injected_ps <
-              options.attribution_window_ps) {
-        detected = true;
-        detect_ps = rec.completed_ps;
-      } else if (!attack_live) {
-        ++false_positives;
-      }
-    }
-  });
-
-  // Warm up: let the window/state fill and the engine settle.
-  const std::size_t warm_inferences = model == ModelKind::kElm ? 48 : 12;
-  soc.run_while(
-      [&] { return soc.mcm().inferences_completed() < warm_inferences; },
-      600 * sim::kPsPerMs);
-  false_positives = 0;  // warm-up flags are expected; not counted
-
-  sim::Sampler latency_us;
-  for (std::size_t a = 0; a < options.attacks; ++a) {
-    attack_live = true;
-    saw_injected = false;
-    detected = false;
-    soc.arm_attack(soc.host_cpu().program_instructions() + 10'000);
-    const sim::Picoseconds deadline =
-        soc.simulator().now() + options.attack_deadline_ps;
-    // Two-phase wait, equivalent to polling "detected, or the attribution
-    // window closed" after every edge group, but phrased so the deadline of
-    // each phase is known up front — the event kernel can then sleep
-    // through quiescent stretches instead of waking per group to re-check
-    // a time-based predicate.
-    soc.run_while([&] { return !detected && !saw_injected; }, deadline);
-    if (!detected && saw_injected) {
-      const sim::Picoseconds window_end =
-          first_injected_ps + options.attribution_window_ps;
-      soc.run_while([&] { return !detected; }, std::min(deadline, window_end));
-      // The dense poll fires exactly one group past the window before it
-      // observes the miss (predicates are checked between groups); replay
-      // that overshoot so both kernels stop on the same edge.
-      if (!detected && soc.simulator().now() <= window_end) {
-        soc.step(deadline);
-      }
-    }
-    ++result.attacks;
-    if (detected && detect_ps > first_injected_ps) {
-      ++result.detections;
-      latency_us.record(sim::to_us(detect_ps - first_injected_ps));
-    }
-    attack_live = false;
-    // Cool-down: let scores decay, the window refill with normal traffic,
-    // and the input queue drain fully so the next attack starts from a
-    // quiescent MLPU (the paper measures per-attack judgment latency, not
-    // queueing behind a previous incident).
-    const std::uint64_t settle =
-        soc.mcm().inferences_completed() +
-        (model == ModelKind::kElm ? 40 : 16);
-    soc.run_while(
-        [&] {
-          return soc.mcm().inferences_completed() < settle ||
-                 soc.mcm().fifo_occupancy() > 0;
-        },
-        soc.simulator().now() + options.attack_deadline_ps);
-  }
-
-  result.mean_latency_us = latency_us.mean();
-  result.min_latency_us = latency_us.min();
-  result.max_latency_us = latency_us.max();
-  result.fifo_drops = soc.mcm().fifo_drops() + soc.igm().drops_at_output();
-  result.false_positives = false_positives;
-  result.inferences = soc.mcm().inferences_completed();
-  result.score_digest = score_digest;
-  result.simulated_ps = soc.simulator().now();
-  auto& stats = soc.simulator().stats();
-  result.skipped_edge_groups = stats.counter("sim.skipped_edge_groups").value();
-  for (const char* domain : {"cpu", "mlpu", "gpu"}) {
-    result.skipped_cycles +=
-        stats.counter(std::string("sim.skipped_cycles.") + domain).value();
-  }
-
-  // Pipeline health: every counter is zero in a fault-free run, so these
-  // reads do not perturb the byte-identity surface.
-  result.trace_bytes_corrupted = soc.tpiu().corrupted_bytes();
-  const auto& ta = soc.igm().trace_analyzer();
-  result.decode_bad_packets = ta.decoder().bad_packets();
-  result.decode_resyncs = ta.decoder().resyncs();
-  result.ta_dropped_branches = ta.dropped_branches();
-  result.mcm_recoveries = soc.mcm().recoveries();
-  result.mcm_stalls_injected = soc.mcm().stalls_injected();
-  result.irqs_lost = soc.mcm().irqs_lost();
-  result.bus_errors = soc.mcm().bus().fault_errors();
-  result.bus_fault_cycles = soc.mcm().bus().fault_cycles();
-  if (auto* fi = soc.fault_injector()) result.fault_events = fi->total_fires();
-
-  if (observer != nullptr) {
-    result.cycle_accounts = observer->snapshot_accounts();
-    if (!options.trace_path.empty()) {
-      std::ofstream out(options.trace_path, std::ios::binary);
-      if (!out) {
-        throw std::runtime_error("cannot open RTAD_TRACE path: " +
-                                 options.trace_path);
-      }
-      observer->sink()->write_chrome_json(out);
-    }
-    if (!options.metrics_path.empty()) {
-      std::ofstream out(options.metrics_path, std::ios::binary);
-      if (!out) {
-        throw std::runtime_error("cannot open RTAD_METRICS path: " +
-                                 options.metrics_path);
-      }
-      write_metrics_json(out, result, stats, soc.simulator().domain_cycles());
-    }
-  }
-  return result;
+  DetectionSession session(profile, models, model, engine, options);
+  session.run_to_completion();
+  return session.result();
 }
 
 }  // namespace rtad::core

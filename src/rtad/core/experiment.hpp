@@ -131,19 +131,21 @@ struct DetectionOptions {
   /// Scheduling kernel for the run (dense reference vs. event-driven);
   /// results are bit-identical either way — the determinism suite checks.
   sim::SchedMode sched = sim::default_sched_mode();
-  /// Fault plan forwarded into the SoC (defaults to RTAD_FAULTS, like
-  /// SocConfig). nullopt or an all-zero plan leaves every result field
-  /// byte-identical to a fault-free build.
-  std::optional<fault::FaultPlan> faults = fault::plan_from_env();
+  /// Fault plan forwarded into the SoC (defaults to RTAD_FAULTS, resolved
+  /// once per process like SocConfig). nullopt or an all-zero plan leaves
+  /// every result field byte-identical to a fault-free build.
+  std::optional<fault::FaultPlan> faults = fault::default_plan();
 
   // --- observability (all off by default; the run is byte-identical with
   // the layer disabled) ---
   /// Write a Chrome-trace/Perfetto JSON of the run here (defaults to
-  /// RTAD_TRACE). Empty disables span/counter tracing entirely.
-  std::string trace_path = obs::trace_path_from_env();
+  /// RTAD_TRACE, resolved once per process). Empty disables span/counter
+  /// tracing entirely.
+  std::string trace_path = obs::default_trace_path();
   /// Write machine-readable run metrics (stable-key JSON) here (defaults
-  /// to RTAD_METRICS). Empty disables the export.
-  std::string metrics_path = obs::metrics_path_from_env();
+  /// to RTAD_METRICS, resolved once per process). Empty disables the
+  /// export.
+  std::string metrics_path = obs::default_metrics_path();
   /// Collect per-component cycle accounts into
   /// DetectionResult::cycle_accounts even when no file export is set.
   bool cycle_accounts = false;

@@ -15,9 +15,9 @@
 #include "rtad/attack/injector.hpp"
 #include "rtad/core/config.hpp"
 #include "rtad/coresight/ptm.hpp"
-#include "rtad/fault/fault_injector.hpp"
 #include "rtad/coresight/tpiu.hpp"
 #include "rtad/cpu/host_cpu.hpp"
+#include "rtad/fault/fault_injector.hpp"
 #include "rtad/gpgpu/gpu.hpp"
 #include "rtad/igm/igm.hpp"
 #include "rtad/mcm/mcm.hpp"

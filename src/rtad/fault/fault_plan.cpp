@@ -1,8 +1,9 @@
 #include "rtad/fault/fault_plan.hpp"
 
-#include <cstdlib>
 #include <stdexcept>
 #include <string>
+
+#include "rtad/core/env.hpp"
 
 namespace rtad::fault {
 
@@ -123,9 +124,14 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
 }
 
 std::optional<FaultPlan> plan_from_env() {
-  const char* env = std::getenv("RTAD_FAULTS");
-  if (env == nullptr || env[0] == '\0') return std::nullopt;
-  return FaultPlan::parse(env);
+  const auto env = core::env::raw("RTAD_FAULTS");
+  if (!env) return std::nullopt;
+  return FaultPlan::parse(*env);
+}
+
+const std::optional<FaultPlan>& default_plan() {
+  static const std::optional<FaultPlan> plan = plan_from_env();
+  return plan;
 }
 
 }  // namespace rtad::fault

@@ -85,7 +85,14 @@ struct FaultPlan {
 
 /// The plan named by RTAD_FAULTS, or nullopt when the variable is unset or
 /// empty. Malformed specs throw (a silently ignored typo would "pass" every
-/// robustness experiment by testing nothing).
+/// robustness experiment by testing nothing). Re-reads the environment on
+/// every call; configuration defaults use default_plan() instead.
 std::optional<FaultPlan> plan_from_env();
+
+/// plan_from_env() resolved once per process — the value SocConfig and
+/// DetectionOptions default members carry. Default-constructing options
+/// used to re-parse RTAD_FAULTS per instance, which is both wasted work in
+/// matrix fan-outs and a seam for mid-run environment drift.
+const std::optional<FaultPlan>& default_plan();
 
 }  // namespace rtad::fault

@@ -1,21 +1,28 @@
 #include "rtad/obs/observer.hpp"
 
 #include <cstdio>
-#include <cstdlib>
+
+#include "rtad/core/env.hpp"
 
 namespace rtad::obs {
-namespace {
 
-std::string env_path(const char* name) {
-  const char* v = std::getenv(name);
-  return (v != nullptr && *v != '\0') ? std::string(v) : std::string();
+std::string trace_path_from_env() {
+  return core::env::string_or("RTAD_TRACE", "");
 }
 
-}  // namespace
+std::string metrics_path_from_env() {
+  return core::env::string_or("RTAD_METRICS", "");
+}
 
-std::string trace_path_from_env() { return env_path("RTAD_TRACE"); }
+const std::string& default_trace_path() {
+  static const std::string path = trace_path_from_env();
+  return path;
+}
 
-std::string metrics_path_from_env() { return env_path("RTAD_METRICS"); }
+const std::string& default_metrics_path() {
+  static const std::string path = metrics_path_from_env();
+  return path;
+}
 
 std::string indexed_path(const std::string& base, std::size_t index) {
   if (base.empty()) return base;

@@ -1,0 +1,41 @@
+#include "rtad/serve/admission.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rtad::serve {
+
+namespace {
+
+AdmissionConfig resolve(AdmissionConfig cfg) {
+  if (cfg.degrade_watermark == 0) {
+    cfg.degrade_watermark = std::max<std::size_t>(1, cfg.queue_capacity / 2);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig cfg)
+    : cfg_(resolve(cfg)),
+      queue_(cfg_.queue_capacity, sim::DropPolicy::kDropNew) {}
+
+AdmissionController::Verdict AdmissionController::offer(SessionRequest req) {
+  ++offered_;
+  depth_seen_.record(static_cast<double>(queue_.size()));
+  const bool degrade = cfg_.policy == OverloadPolicy::kDegrade &&
+                       queue_.size() >= cfg_.degrade_watermark;
+  if (degrade) req.degraded = true;
+  if (!queue_.try_push(std::move(req))) {
+    ++shed_;
+    return Verdict::kShed;
+  }
+  ++admitted_;
+  if (degrade) {
+    ++degraded_;
+    return Verdict::kAcceptedDegraded;
+  }
+  return Verdict::kAccepted;
+}
+
+}  // namespace rtad::serve

@@ -1,0 +1,90 @@
+// Admission control for one shard's ingress queue.
+//
+// The queue is a bounded sim::Fifo — the same hardware-FIFO model the MCM
+// input path uses — so overload behaviour is an explicit drop policy, not an
+// unbounded deque quietly eating memory. Two overload policies:
+//
+//   * kShed (default): a full queue drops the newcomer (Fifo kDropNew) and
+//     counts it in sessions_shed. The tenant gets no verdict this episode —
+//     the honest failure mode for a real-time monitor, where a late verdict
+//     is as useless as none.
+//   * kDegrade: above the degrade watermark, admitted sessions are marked
+//     to run the cheap model (ELM) instead of the requested one — trading
+//     model fidelity for service time so fewer sessions shed. A completely
+//     full queue still sheds; the queue stays bounded either way.
+//
+// Queue depth is sampled at every offer, before the verdict, so the depth
+// distribution reflects what arrivals actually see.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "rtad/serve/tenant.hpp"
+#include "rtad/sim/fifo.hpp"
+#include "rtad/sim/stats.hpp"
+
+namespace rtad::serve {
+
+enum class OverloadPolicy : std::uint8_t {
+  kShed,     ///< drop newest when full (Fifo kDropNew)
+  kDegrade,  ///< above the watermark, admit but downgrade to the ELM model
+};
+
+constexpr const char* overload_policy_name(OverloadPolicy p) noexcept {
+  return p == OverloadPolicy::kShed ? "shed" : "degrade";
+}
+
+struct AdmissionConfig {
+  std::size_t queue_capacity = 8;
+  OverloadPolicy policy = OverloadPolicy::kShed;
+  /// Occupancy (inclusive) at which kDegrade starts downgrading admitted
+  /// sessions. 0 resolves to max(1, queue_capacity / 2).
+  std::size_t degrade_watermark = 0;
+};
+
+class AdmissionController {
+ public:
+  enum class Verdict : std::uint8_t {
+    kAccepted,
+    kAcceptedDegraded,  ///< admitted, but downgraded to the cheap model
+    kShed,
+  };
+
+  explicit AdmissionController(AdmissionConfig cfg);
+
+  /// Offer a request at its arrival instant. Samples queue depth, applies
+  /// the overload policy, and enqueues unless the verdict is kShed.
+  Verdict offer(SessionRequest req);
+
+  /// Pop the next admitted request (FIFO order); nullopt when idle.
+  std::optional<SessionRequest> next() { return queue_.pop(); }
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t depth() const noexcept { return queue_.size(); }
+  const SessionRequest& head() const { return queue_.front(); }
+
+  const AdmissionConfig& config() const noexcept { return cfg_; }
+  std::uint64_t offered() const noexcept { return offered_; }
+  std::uint64_t admitted() const noexcept { return admitted_; }
+  std::uint64_t shed() const noexcept { return shed_; }
+  std::uint64_t degraded() const noexcept { return degraded_; }
+  /// Depth seen by each arrival (sampled before its own admission).
+  const sim::Sampler& depth_seen() const noexcept { return depth_seen_; }
+  /// Deepest ingress occupancy ever reached.
+  std::size_t high_watermark() const noexcept {
+    return queue_.high_watermark();
+  }
+
+ private:
+  AdmissionConfig cfg_;
+  sim::Fifo<SessionRequest> queue_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t degraded_ = 0;
+  sim::Sampler depth_seen_;
+};
+
+}  // namespace rtad::serve

@@ -1,0 +1,170 @@
+#include "rtad/serve/service.hpp"
+
+#include <algorithm>
+#include <future>
+#include <ostream>
+#include <utility>
+
+#include "rtad/core/env.hpp"
+#include "rtad/obs/json.hpp"
+
+namespace rtad::serve {
+
+ServiceConfig ServiceConfig::from_env() {
+  ServiceConfig cfg;
+  cfg.shards = core::env::positive_or("RTAD_SERVE_SHARDS", cfg.shards);
+  cfg.lanes = core::env::positive_or("RTAD_SERVE_LANES", cfg.lanes);
+  cfg.queue_capacity =
+      core::env::positive_or("RTAD_SERVE_QUEUE", cfg.queue_capacity);
+  cfg.policy = core::env::choice_or("RTAD_SERVE_POLICY", {"shed", "degrade"},
+                                    "shed") == "shed"
+                   ? OverloadPolicy::kShed
+                   : OverloadPolicy::kDegrade;
+  cfg.quantum_ps =
+      core::env::positive_or("RTAD_SERVE_QUANTUM_US", 2'000) * sim::kPsPerUs;
+  return cfg;
+}
+
+Service::Service(ServiceConfig cfg,
+                 std::shared_ptr<core::TrainedModelCache> cache,
+                 std::size_t jobs)
+    : cfg_(std::move(cfg)),
+      cache_(cache ? std::move(cache)
+                   : std::make_shared<core::TrainedModelCache>()),
+      pool_(jobs) {
+  if (cfg_.shards == 0) cfg_.shards = 1;
+}
+
+ServiceReport Service::run(std::vector<SessionRequest> requests) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].ticket = i;
+  }
+
+  ShardConfig scfg;
+  scfg.lanes = cfg_.lanes;
+  scfg.admission.queue_capacity = cfg_.queue_capacity;
+  scfg.admission.policy = cfg_.policy;
+  scfg.quantum_ps = cfg_.quantum_ps;
+  scfg.detection = cfg_.detection;
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(cfg_.shards);
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    shards.push_back(std::make_unique<Shard>(s, scfg, cache_));
+  }
+  for (auto& req : requests) {
+    shards[shard_of(req.tenant)]->enqueue(std::move(req));
+  }
+
+  // One pool task per shard; futures collected in shard-index order, so
+  // the merged report is byte-identical for any worker count.
+  std::vector<std::future<std::vector<SessionOutcome>>> futures;
+  futures.reserve(shards.size());
+  for (auto& shard : shards) {
+    futures.push_back(pool_.submit([&s = *shard] { return s.run(); }));
+  }
+
+  ServiceReport rep;
+  rep.outcomes.reserve(requests.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    auto outcomes = futures[s].get();
+    for (auto& o : outcomes) rep.outcomes.push_back(std::move(o));
+    const ShardStats& st = shards[s]->stats();
+    rep.sessions_offered += st.offered;
+    rep.sessions_admitted += st.admitted;
+    rep.sessions_shed += st.shed;
+    rep.sessions_degraded += st.degraded;
+    rep.degraded_inferences += st.degraded_inferences;
+    rep.sessions_completed += st.completed;
+    rep.queue_depth.merge(st.queue_depth);
+    rep.queue_high_watermark =
+        std::max(rep.queue_high_watermark, st.queue_high_watermark);
+  }
+  std::sort(rep.outcomes.begin(), rep.outcomes.end(),
+            [](const SessionOutcome& a, const SessionOutcome& b) {
+              return a.request.ticket < b.request.ticket;
+            });
+
+  for (const SessionOutcome& o : rep.outcomes) {
+    ClassSlo& slo = o.request.cls == TenantClass::kInteractive
+                        ? rep.interactive
+                        : rep.batch;
+    ++slo.offered;
+    if (o.shed) {
+      ++slo.shed;
+      continue;
+    }
+    ++slo.completed;
+    if (o.degraded) ++slo.degraded;
+    slo.sojourn_us.record(sim::to_us(o.sojourn_ps));
+  }
+  return rep;
+}
+
+namespace {
+
+void write_class(obs::JsonWriter& json, const char* name,
+                 const ClassSlo& slo) {
+  json.key(name).begin_object();
+  json.field("offered", slo.offered);
+  json.field("completed", slo.completed);
+  json.field("shed", slo.shed);
+  json.field("degraded", slo.degraded);
+  json.key("sojourn_us").begin_object();
+  json.field("count", static_cast<std::uint64_t>(slo.sojourn_us.count()));
+  json.field("mean", slo.sojourn_us.mean());
+  json.field("p50", slo.sojourn_us.percentile(50.0));
+  json.field("p95", slo.sojourn_us.percentile(95.0));
+  json.field("p99", slo.sojourn_us.percentile(99.0));
+  json.field("max", slo.sojourn_us.max());
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+void write_serve_json(std::ostream& os, const ServiceConfig& cfg,
+                      const ServiceReport& report) {
+  obs::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", "rtad.serve.v1");
+  json.key("service");
+  write_serve_report(json, cfg, report);
+  json.end_object();
+  os << '\n';
+}
+
+void write_serve_report(obs::JsonWriter& json, const ServiceConfig& cfg,
+                        const ServiceReport& report) {
+  json.begin_object();
+  json.key("config").begin_object();
+  json.field("shards", static_cast<std::uint64_t>(cfg.shards));
+  json.field("lanes", static_cast<std::uint64_t>(cfg.lanes));
+  json.field("queue_capacity",
+             static_cast<std::uint64_t>(cfg.queue_capacity));
+  json.field("policy", overload_policy_name(cfg.policy));
+  json.field("quantum_us", sim::to_us(cfg.quantum_ps));
+  json.end_object();
+  json.key("fleet").begin_object();
+  json.field("serve.sessions_offered", report.sessions_offered);
+  json.field("serve.sessions_admitted", report.sessions_admitted);
+  json.field("serve.sessions_shed", report.sessions_shed);
+  json.field("serve.sessions_degraded", report.sessions_degraded);
+  json.field("serve.degraded_inferences", report.degraded_inferences);
+  json.field("serve.sessions_completed", report.sessions_completed);
+  json.end_object();
+  json.key("ingress_depth").begin_object();
+  json.field("samples",
+             static_cast<std::uint64_t>(report.queue_depth.count()));
+  json.field("mean", report.queue_depth.mean());
+  json.field("max", report.queue_depth.max());
+  json.field("high_watermark",
+             static_cast<std::uint64_t>(report.queue_high_watermark));
+  json.end_object();
+  json.key("classes").begin_object();
+  write_class(json, "interactive", report.interactive);
+  write_class(json, "batch", report.batch);
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace rtad::serve

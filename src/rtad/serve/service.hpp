@@ -1,0 +1,120 @@
+// The detection service: a fleet of shards behind stable tenant routing.
+//
+// Service::run() takes one batch of session requests (an arrival schedule on
+// the simulated fleet clock), routes each to its tenant's shard, replays
+// every shard's queueing simulation, and merges the outcomes back into
+// submission (ticket) order. Shards are independent — each owns its SoCs,
+// its ingress queue, and its slice of the schedule — so they fan out across
+// the PR-1 thread pool; the merge collects shard futures in shard-index
+// order, which keeps every observable (outcomes, SLO report, the
+// rtad.serve.v1 JSON) byte-identical for any RTAD_JOBS.
+//
+// Knobs (all parsed through core::env — malformed values throw):
+//   RTAD_SERVE_SHARDS      fleet width                     (default 2)
+//   RTAD_SERVE_LANES       SoC lanes per shard             (default 2)
+//   RTAD_SERVE_QUEUE       ingress queue capacity          (default 8)
+//   RTAD_SERVE_POLICY      overload policy: shed|degrade   (default shed)
+//   RTAD_SERVE_QUANTUM_US  advance() slice, simulated us   (default 2000)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "rtad/serve/shard.hpp"
+
+namespace rtad::obs {
+class JsonWriter;
+}
+
+namespace rtad::serve {
+
+struct ServiceConfig {
+  std::size_t shards = 2;
+  std::size_t lanes = 2;  ///< per shard
+  std::size_t queue_capacity = 8;
+  OverloadPolicy policy = OverloadPolicy::kShed;
+  sim::Picoseconds quantum_ps = 2 * sim::kPsPerMs;
+  /// Base detection options shared by every episode (see ShardConfig).
+  core::DetectionOptions detection{};
+
+  /// Resolve the RTAD_SERVE_* knobs (strict grammar; throws on malformed
+  /// values). Unset knobs keep the defaults above.
+  static ServiceConfig from_env();
+};
+
+/// Per-tenant-class SLO account.
+struct ClassSlo {
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;
+  /// Sojourn time (arrival → verdict delivered) of completed sessions,
+  /// in simulated microseconds. p50/p95/p99 come straight off this.
+  sim::Sampler sojourn_us;
+};
+
+struct ServiceReport {
+  /// Every offered session's fate, in submission (ticket) order.
+  std::vector<SessionOutcome> outcomes;
+  ClassSlo interactive;
+  ClassSlo batch;
+  // Fleet health (sums over shards; shard order, so worker-count stable).
+  std::uint64_t sessions_offered = 0;
+  std::uint64_t sessions_admitted = 0;
+  std::uint64_t sessions_shed = 0;
+  std::uint64_t sessions_degraded = 0;
+  std::uint64_t degraded_inferences = 0;
+  std::uint64_t sessions_completed = 0;
+  sim::Sampler queue_depth;  ///< merged shard ingress depth samples
+  std::size_t queue_high_watermark = 0;
+
+  const ClassSlo& slo(TenantClass cls) const noexcept {
+    return cls == TenantClass::kInteractive ? interactive : batch;
+  }
+};
+
+class Service {
+ public:
+  /// `jobs == 0` resolves via RTAD_JOBS. Pass a cache to share trained
+  /// models across services (the bench sweeps several offered loads on one
+  /// cache so each benchmark trains exactly once).
+  explicit Service(ServiceConfig cfg,
+                   std::shared_ptr<core::TrainedModelCache> cache = {},
+                   std::size_t jobs = 0);
+
+  const ServiceConfig& config() const noexcept { return cfg_; }
+  std::size_t shard_count() const noexcept { return cfg_.shards; }
+  std::size_t shard_of(std::string_view tenant) const noexcept {
+    return shard_for(tenant, cfg_.shards);
+  }
+  core::TrainedModelCache& cache() noexcept { return *cache_; }
+
+  /// Serve one arrival schedule. Tickets are (re)assigned by position, so
+  /// the caller's request order is the canonical submission order.
+  ServiceReport run(std::vector<SessionRequest> requests);
+
+ private:
+  ServiceConfig cfg_;
+  std::shared_ptr<core::TrainedModelCache> cache_;
+  sim::ThreadPool pool_;
+};
+
+/// Emit the `rtad.serve.v1` JSON document: config echo, fleet health
+/// counters (serve.sessions_shed, serve.degraded_inferences, ...), the
+/// ingress-depth distribution, and per-class SLO percentiles. Insertion-
+/// ordered keys and deterministic number formatting (obs::JsonWriter), so
+/// the document is byte-stable across scheduler modes and worker counts.
+void write_serve_json(std::ostream& os, const ServiceConfig& cfg,
+                      const ServiceReport& report);
+
+/// The document body (one JSON object: config/fleet/ingress_depth/classes)
+/// emitted at the writer's current value position — reusable as a nested
+/// value, e.g. one object per sweep point in BENCH_serve.json.
+void write_serve_report(obs::JsonWriter& json, const ServiceConfig& cfg,
+                        const ServiceReport& report);
+
+}  // namespace rtad::serve

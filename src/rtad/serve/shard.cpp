@@ -1,0 +1,115 @@
+#include "rtad/serve/shard.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "rtad/core/detection_session.hpp"
+
+namespace rtad::serve {
+
+namespace {
+
+constexpr sim::Picoseconds kNever = ~sim::Picoseconds{0};
+
+}  // namespace
+
+Shard::Shard(std::size_t id, ShardConfig cfg,
+             std::shared_ptr<core::TrainedModelCache> cache)
+    : id_(id), cfg_(std::move(cfg)), cache_(std::move(cache)) {
+  if (cfg_.lanes == 0) cfg_.lanes = 1;
+}
+
+std::vector<SessionOutcome> Shard::run() {
+  std::sort(staged_.begin(), staged_.end(),
+            [](const SessionRequest& a, const SessionRequest& b) {
+              return a.arrival_ps != b.arrival_ps ? a.arrival_ps < b.arrival_ps
+                                                  : a.ticket < b.ticket;
+            });
+  AdmissionController admission(cfg_.admission);
+  lane_free_at_.assign(cfg_.lanes, 0);
+  std::vector<SessionOutcome> out;
+  out.reserve(staged_.size());
+
+  std::size_t i = 0;
+  while (i < staged_.size() || !admission.empty()) {
+    const sim::Picoseconds t_arr =
+        i < staged_.size() ? staged_[i].arrival_ps : kNever;
+    if (!admission.empty()) {
+      // Earliest-free lane; lowest index breaks ties so placement is a
+      // pure function of the arrival schedule.
+      std::size_t lane = 0;
+      for (std::size_t l = 1; l < lane_free_at_.size(); ++l) {
+        if (lane_free_at_[l] < lane_free_at_[lane]) lane = l;
+      }
+      const sim::Picoseconds t_start =
+          std::max(lane_free_at_[lane], admission.head().arrival_ps);
+      // Dispatch-before-arrival on ties: an arrival at exactly the instant
+      // a queue slot frees sees the freed slot.
+      if (t_start <= t_arr) {
+        dispatch(admission, lane, out);
+        continue;
+      }
+    }
+    const SessionRequest req = staged_[i];
+    ++i;
+    if (admission.offer(req) == AdmissionController::Verdict::kShed) {
+      SessionOutcome o;
+      o.request = req;
+      o.shed = true;
+      out.push_back(std::move(o));
+    }
+  }
+
+  stats_.offered += admission.offered();
+  stats_.admitted += admission.admitted();
+  stats_.shed += admission.shed();
+  stats_.degraded += admission.degraded();
+  stats_.queue_depth.merge(admission.depth_seen());
+  stats_.queue_high_watermark =
+      std::max(stats_.queue_high_watermark, admission.high_watermark());
+
+  std::sort(out.begin(), out.end(),
+            [](const SessionOutcome& a, const SessionOutcome& b) {
+              return a.request.ticket < b.request.ticket;
+            });
+  staged_.clear();
+  return out;
+}
+
+void Shard::dispatch(AdmissionController& admission, std::size_t lane,
+                     std::vector<SessionOutcome>& out) {
+  SessionRequest req = *admission.next();
+  const sim::Picoseconds start =
+      std::max(lane_free_at_[lane], req.arrival_ps);
+
+  core::DetectionOptions opts = cfg_.detection;
+  opts.seed = req.seed;
+  opts.attacks = req.attacks;
+  opts.trace_path.clear();
+  opts.metrics_path.clear();
+  const core::ModelKind model =
+      req.degraded ? core::ModelKind::kElm : req.model;
+
+  const auto profile = cache_->profile(req.benchmark);
+  const core::TrainedModels& models = cache_->get(req.benchmark);
+  core::DetectionSession session(profile, models, model, req.engine, opts);
+  while (true) {
+    ++stats_.quanta;
+    if (!session.advance(cfg_.quantum_ps)) break;
+  }
+
+  SessionOutcome o;
+  o.request = std::move(req);
+  o.degraded = o.request.degraded;
+  o.start_ps = start;
+  o.service_ps = session.now();
+  o.completion_ps = start + o.service_ps;
+  o.sojourn_ps = o.completion_ps - o.request.arrival_ps;
+  o.detection = session.result();
+  lane_free_at_[lane] = o.completion_ps;
+  ++stats_.completed;
+  if (o.degraded) stats_.degraded_inferences += o.detection.inferences;
+  out.push_back(std::move(o));
+}
+
+}  // namespace rtad::serve

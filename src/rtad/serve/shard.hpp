@@ -1,0 +1,112 @@
+// One detection shard: K SoC lanes behind a bounded ingress queue.
+//
+// A shard is the unit of fleet scale-out. It owns K "lanes" — each lane can
+// host one live DetectionSession (one RtadSoc) at a time — plus an
+// AdmissionController guarding its ingress. Sessions routed to the shard
+// arrive on a simulated fleet clock; the shard replays the arrival schedule
+// as a discrete-event queueing simulation in virtual time:
+//
+//   * An arrival is offered to admission at its arrival instant, with the
+//     queue depth exactly as a real arrival would see it (every dispatch
+//     that starts at or before that instant has already drained the queue).
+//   * A free lane pulls the queue head FIFO; service starts at
+//     max(lane free time, arrival time). Among simultaneously free lanes
+//     the lowest index wins — a fixed tie-break, so placement is a pure
+//     function of the arrival schedule.
+//   * Service time is the session's own simulated duration: the lane drives
+//     the DetectionSession in bounded quanta (advance(quantum_ps)) — the
+//     streaming API in production use — and the episode's simulated_ps is
+//     the exact lane occupancy. Completion times are therefore exact, not
+//     quantized: chunked advancement retires the identical run, so results
+//     are invariant to the quantum.
+//
+// Everything here is deterministic: no wall clock, no host-thread ordering
+// in any observable (shards run whole on one pool task; see Service).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rtad/core/experiment_runner.hpp"
+#include "rtad/serve/admission.hpp"
+#include "rtad/serve/tenant.hpp"
+
+namespace rtad::serve {
+
+/// The fate of one offered session.
+struct SessionOutcome {
+  SessionRequest request;
+  bool shed = false;
+  bool degraded = false;  ///< ran, but on the downgraded (ELM) model
+  sim::Picoseconds start_ps = 0;       ///< service start (fleet clock)
+  sim::Picoseconds service_ps = 0;     ///< the episode's simulated duration
+  sim::Picoseconds completion_ps = 0;  ///< start + service
+  sim::Picoseconds sojourn_ps = 0;     ///< completion - arrival (the SLO)
+  /// Full detection result for completed sessions (default for shed ones).
+  core::DetectionResult detection;
+};
+
+struct ShardConfig {
+  std::size_t lanes = 2;
+  AdmissionConfig admission{};
+  /// Simulated-time slice per advance() call when a lane drives a session.
+  sim::Picoseconds quantum_ps = 2 * sim::kPsPerMs;
+  /// Base options for every episode; seed/attacks/model come from the
+  /// request, and per-run trace/metrics exports are force-disabled (a fleet
+  /// of sessions racing on one RTAD_TRACE path helps nobody — the service
+  /// emits one aggregate rtad.serve.v1 document instead).
+  core::DetectionOptions detection{};
+};
+
+/// Aggregate shard health, harvested after run().
+struct ShardStats {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;            ///< sessions downgraded on admit
+  std::uint64_t degraded_inferences = 0; ///< inferences retired downgraded
+  std::uint64_t completed = 0;
+  /// advance() quanta issued. Host-side diagnostic only — it scales with
+  /// 1/quantum while all results stay identical, so it must never reach
+  /// the byte-identity surface.
+  std::uint64_t quanta = 0;
+  sim::Sampler queue_depth;  ///< depth seen by each arrival
+  std::size_t queue_high_watermark = 0;
+};
+
+class Shard {
+ public:
+  Shard(std::size_t id, ShardConfig cfg,
+        std::shared_ptr<core::TrainedModelCache> cache);
+
+  std::size_t id() const noexcept { return id_; }
+  const ShardConfig& config() const noexcept { return cfg_; }
+
+  /// Stage a request for the next run(). Requests may be staged in any
+  /// order; run() replays them by (arrival_ps, ticket).
+  void enqueue(SessionRequest req) { staged_.push_back(std::move(req)); }
+
+  /// Replay the staged arrival schedule to completion. Outcomes come back
+  /// in ticket order (stable for the service-level merge). Staged requests
+  /// are consumed; the shard can be reused for a fresh schedule.
+  std::vector<SessionOutcome> run();
+
+  const ShardStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Pop the queue head onto `lane`, drive the session to completion in
+  /// quanta, and record the outcome.
+  void dispatch(AdmissionController& admission, std::size_t lane,
+                std::vector<SessionOutcome>& out);
+
+  std::size_t id_;
+  ShardConfig cfg_;
+  std::shared_ptr<core::TrainedModelCache> cache_;
+  std::vector<SessionRequest> staged_;
+  std::vector<sim::Picoseconds> lane_free_at_;
+  ShardStats stats_;
+};
+
+}  // namespace rtad::serve

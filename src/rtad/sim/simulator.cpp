@@ -1,19 +1,24 @@
 #include "rtad/sim/simulator.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
-#include <string_view>
+
+#include "rtad/core/env.hpp"
 
 namespace rtad::sim {
 
 SchedMode default_sched_mode() {
-  if (const char* env = std::getenv("RTAD_SCHED")) {
-    const std::string_view v(env);
-    if (v == "dense") return SchedMode::kDense;
-  }
-  return SchedMode::kEventDriven;
+  // Resolved once per process: every SocConfig/Simulator default
+  // construction used to re-read RTAD_SCHED, and anything but the literal
+  // "dense" silently meant "event" — a typo'd kernel selection now throws
+  // on first use instead.
+  static const SchedMode mode =
+      core::env::choice_or("RTAD_SCHED", {"dense", "event"}, "event") ==
+              "dense"
+          ? SchedMode::kDense
+          : SchedMode::kEventDriven;
+  return mode;
 }
 
 const char* to_string(SchedMode mode) noexcept {

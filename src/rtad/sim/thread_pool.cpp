@@ -1,7 +1,8 @@
 #include "rtad/sim/thread_pool.hpp"
 
-#include <cstdlib>
 #include <string>
+
+#include "rtad/core/env.hpp"
 
 namespace rtad::sim {
 
@@ -36,15 +37,10 @@ ThreadPool::~ThreadPool() {
 }
 
 std::size_t ThreadPool::jobs_from_env(const char* name) {
-  if (const char* env = std::getenv(name)) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0) {
-      return static_cast<std::size_t>(parsed);
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  // Malformed counts throw (core::env) — RTAD_JOBS=fulL used to silently
+  // mean "hardware_concurrency", which defeats the knob's whole point.
+  return core::env::positive_or(name, hw == 0 ? 1 : hw);
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {

@@ -56,8 +56,9 @@ class ThreadPool {
     return future;
   }
 
-  /// Worker count from the environment: RTAD_JOBS if set to a positive
-  /// integer, else std::thread::hardware_concurrency() (at least 1).
+  /// Worker count from the environment: RTAD_JOBS if set, else
+  /// std::thread::hardware_concurrency() (at least 1). A set-but-malformed
+  /// value (non-numeric, zero, negative) throws std::invalid_argument.
   static std::size_t jobs_from_env(const char* name = "RTAD_JOBS");
 
  private:
