@@ -21,6 +21,11 @@
 // latencies are still deterministic, just trained on fewer tokens);
 // RTAD_SCHED=dense|event selects the simulation kernel — stdout is
 // byte-identical either way, scheduler statistics go to stderr;
+// RTAD_BACKEND=cycle|fast selects the kernel execution backend (stdout and
+// metrics exports are byte-identical either way; the backend line and
+// gpu_exec_wall_ms go to stderr); RTAD_FIG8_BACKEND_PROBE=N times N
+// offline inferences of the first cell's kernels on both backends and
+// reports the kernel-simulation speedup to stderr;
 // RTAD_TRACE=<path> writes a Chrome-trace/Perfetto JSON per cell
 // (multi-cell runs insert ".cellNNN" before a trailing ".json");
 // RTAD_METRICS=<path> writes stable-key JSON run metrics the same way.
@@ -35,6 +40,7 @@
 
 #include "rtad/core/experiment_runner.hpp"
 #include "rtad/core/report.hpp"
+#include "rtad/ml/kernel_compiler.hpp"
 
 using namespace rtad;
 
@@ -153,6 +159,50 @@ int main() {
     for (const auto& name : benchmarks) cache->get(name);
   }
 
+  // Optional kernel-simulation probe (RTAD_FIG8_BACKEND_PROBE=N): run N
+  // offline inferences of the first cell's trained kernels on each backend
+  // and report the wall-clock ratio. This isolates the cost the execution
+  // backend is responsible for — inside the matrix, wall-clock during a
+  // launch also covers the concurrently simulated CPU/fabric domains,
+  // which no GPU backend can remove. Diagnostics only (stderr).
+  if (const char* env = std::getenv("RTAD_FIG8_BACKEND_PROBE")) {
+    const int probes = std::atoi(env);
+    if (probes > 0) {
+      if (!cache) cache = std::make_shared<core::TrainedModelCache>();
+      const core::TrainedModels& trained = cache->get(benchmarks.front());
+      const core::ModelKind probe_model = models.front();
+      const ml::ModelImage& image = trained.image(probe_model);
+      double wall_us[2] = {0.0, 0.0};
+      std::uint64_t probe_fast_launches = 0;
+      for (int bi = 0; bi < 2; ++bi) {
+        gpgpu::GpuConfig cfg;
+        cfg.backend =
+            bi == 0 ? gpgpu::GpuBackend::kCycle : gpgpu::GpuBackend::kFast;
+        gpgpu::Gpu gpu(cfg);
+        ml::load_image(gpu, image);
+        std::vector<std::uint32_t> payload(image.input_words, 1);
+        ml::run_inference_offline(gpu, image, payload);  // warm decode cache
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < probes; ++i) {
+          payload[0] = static_cast<std::uint32_t>(i % 13);
+          ml::run_inference_offline(gpu, image, payload);
+        }
+        wall_us[bi] = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        if (bi == 1) probe_fast_launches = gpu.fast_launches();
+      }
+      std::cerr << "fig8: backend_probe model="
+                << core::to_string(probe_model) << " inferences=" << probes
+                << " cycle_wall_us=" << static_cast<long long>(wall_us[0])
+                << " fast_wall_us=" << static_cast<long long>(wall_us[1])
+                << " kernel_speedup="
+                << core::fmt(wall_us[1] > 0 ? wall_us[0] / wall_us[1] : 0.0,
+                             2)
+                << " fast_launches=" << probe_fast_launches << "\n";
+    }
+  }
+
   core::ExperimentRunner runner(0, cache);
   std::cerr << "fig8: " << cells.size() << " cells on "
             << runner.pool().worker_count() << " workers...\n";
@@ -166,10 +216,20 @@ int main() {
 
   std::uint64_t skipped_groups = 0;
   std::uint64_t skipped_cycles = 0;
+  std::uint64_t gpu_wall_ns = 0;
+  std::uint64_t fast_launches = 0;
   for (const auto& r : results) {
     skipped_groups += r.detection.skipped_edge_groups;
     skipped_cycles += r.detection.skipped_cycles;
+    gpu_wall_ns += r.detection.gpu_exec_wall_ns;
+    fast_launches += r.detection.gpu_fast_launches;
   }
+  // Diagnostics only: the kernel-simulation wall is the share of the matrix
+  // the execution backend is responsible for, which is what the perf smoke
+  // compares across RTAD_BACKEND (stdout stays byte-identical).
+  std::cerr << "fig8: backend=" << gpgpu::to_string(gpgpu::default_gpu_backend())
+            << " gpu_exec_wall_ms=" << gpu_wall_ns / 1'000'000
+            << " fast_launches=" << fast_launches << "\n";
   // Diagnostics only — scheduler mode must never leak into stdout, which
   // is compared byte-for-byte across kernels by the perf smoke.
   std::cerr << "fig8: scheduler=" << sim::to_string(sim::default_sched_mode())

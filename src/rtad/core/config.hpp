@@ -8,6 +8,7 @@
 #include "rtad/coresight/ptm.hpp"
 #include "rtad/cpu/instrumentation.hpp"
 #include "rtad/fault/fault_plan.hpp"
+#include "rtad/gpgpu/gpu.hpp"
 #include "rtad/igm/igm.hpp"
 #include "rtad/mcm/mcm.hpp"
 #include "rtad/obs/observer.hpp"
@@ -59,6 +60,10 @@ struct SocConfig {
   /// Scheduling kernel (dense reference vs. idle-aware event-driven);
   /// overridable per-process with RTAD_SCHED=dense|event.
   sim::SchedMode sched = sim::default_sched_mode();
+  /// Kernel execution backend (cycle-level oracle vs. decode-once fast
+  /// path); overridable per-process with RTAD_BACKEND=cycle|fast. Both
+  /// produce byte-identical results and timing.
+  gpgpu::GpuBackend gpu_backend = gpgpu::default_gpu_backend();
   /// Observability context (not owned, may be null). When set, every
   /// component registers a cycle account with it — and, if it carries a
   /// trace sink, span/counter tracks too. Installed after construction and

@@ -51,6 +51,7 @@ DetectionSession::DetectionSession(const workloads::SpecProfile& profile,
   atk.seed = options_.seed ^ 0xA77AC4;
   cfg.attack = atk;
   cfg.sched = options_.sched;
+  cfg.gpu_backend = options_.backend;
   cfg.faults = options_.faults;
 
   // Observability: the Observer exists only when the run asked for it, so
@@ -243,6 +244,8 @@ void DetectionSession::finalize() {
     result_.skipped_cycles +=
         stats.counter(std::string("sim.skipped_cycles.") + domain).value();
   }
+  result_.gpu_exec_wall_ns = soc_->gpu().launch_wall_ns();
+  result_.gpu_fast_launches = soc_->gpu().fast_launches();
 
   // Pipeline health: every counter is zero in a fault-free run, so these
   // reads do not perturb the byte-identity surface.

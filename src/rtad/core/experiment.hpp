@@ -95,6 +95,12 @@ struct DetectionResult {
   /// byte-identity surface.
   std::uint64_t skipped_edge_groups = 0;
   std::uint64_t skipped_cycles = 0;  ///< summed over all clock domains
+  /// Backend diagnostics (stderr-only: excluded from stdout tables and the
+  /// rtad.metrics.v1 export, both of which must stay byte-identical across
+  /// RTAD_BACKEND). Wall-clock spent simulating GPU launches, and how many
+  /// launches the fast backend planned (0 under the cycle backend).
+  std::uint64_t gpu_exec_wall_ns = 0;
+  std::uint64_t gpu_fast_launches = 0;
 
   // --- pipeline health (all zero in fault-free runs) ---
   std::uint64_t trace_bytes_corrupted = 0;  ///< TPIU flips+drops+dups+trunc
@@ -131,6 +137,10 @@ struct DetectionOptions {
   /// Scheduling kernel for the run (dense reference vs. event-driven);
   /// results are bit-identical either way — the determinism suite checks.
   sim::SchedMode sched = sim::default_sched_mode();
+  /// Kernel execution backend (cycle-level oracle vs. decode-once fast
+  /// path, RTAD_BACKEND=cycle|fast); results are byte-identical either
+  /// way — the fastpath differential suite checks.
+  gpgpu::GpuBackend backend = gpgpu::default_gpu_backend();
   /// Fault plan forwarded into the SoC (defaults to RTAD_FAULTS, resolved
   /// once per process like SocConfig). nullopt or an all-zero plan leaves
   /// every result field byte-identical to a fault-free build.

@@ -129,8 +129,11 @@ RtadSoc::RtadSoc(SocConfig config, const ml::ModelImage* image,
 
   igm_ = std::make_unique<igm::Igm>(igm_cfg, tpiu_->port());
 
-  gpu_ = std::make_unique<gpgpu::Gpu>(
-      gpu_config_for(config_.engine, config_.gpu_dispatch_latency));
+  gpgpu::GpuConfig gpu_cfg =
+      gpu_config_for(config_.engine, config_.gpu_dispatch_latency);
+  gpu_cfg.backend = config_.gpu_backend;
+  gpu_cfg.clock_period_ps = gpu_clk.period_ps();
+  gpu_ = std::make_unique<gpgpu::Gpu>(gpu_cfg);
   if (config_.engine == EngineKind::kMlMiaow) {
     gpu_->set_trim(gpgpu::RtlInventory::instance().ml_retained());
   }

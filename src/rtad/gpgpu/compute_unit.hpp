@@ -59,6 +59,11 @@ class ComputeUnit {
 
   std::uint64_t cycles() const noexcept { return cycle_; }
   std::uint64_t instructions_issued() const noexcept { return issued_; }
+
+  /// Credit instructions executed on this CU's behalf by the fast-path
+  /// backend, which runs them outside tick() but must leave the issue
+  /// counters exactly as the cycle backend would.
+  void credit_issued(std::uint64_t n) noexcept { issued_ += n; }
   std::uint32_t id() const noexcept { return cu_id_; }
 
   void set_retained(const std::vector<bool>* retained) noexcept {

@@ -1,6 +1,6 @@
 #include "rtad/gpgpu/device_memory.hpp"
 
-#include <cstring>
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -12,42 +12,13 @@ DeviceMemory::DeviceMemory(std::size_t size_bytes) : bytes_(size_bytes, 0) {
   }
 }
 
-void DeviceMemory::check(std::uint64_t addr) const {
+void DeviceMemory::fail(std::uint64_t addr) const {
   if (addr % 4 != 0) {
     throw std::invalid_argument("unaligned device memory access at 0x" +
                                 std::to_string(addr));
   }
-  if (addr + 4 > bytes_.size()) {
-    throw std::out_of_range("device memory access at 0x" +
-                            std::to_string(addr) + " out of range");
-  }
-}
-
-std::uint32_t DeviceMemory::read32(std::uint64_t addr) const {
-  check(addr);
-  ++reads_;
-  std::uint32_t v;
-  std::memcpy(&v, bytes_.data() + addr, 4);
-  return v;
-}
-
-void DeviceMemory::write32(std::uint64_t addr, std::uint32_t value) {
-  check(addr);
-  ++writes_;
-  std::memcpy(bytes_.data() + addr, &value, 4);
-}
-
-float DeviceMemory::read_f32(std::uint64_t addr) const {
-  const std::uint32_t bits = read32(addr);
-  float f;
-  std::memcpy(&f, &bits, 4);
-  return f;
-}
-
-void DeviceMemory::write_f32(std::uint64_t addr, float value) {
-  std::uint32_t bits;
-  std::memcpy(&bits, &value, 4);
-  write32(addr, bits);
+  throw std::out_of_range("device memory access at 0x" + std::to_string(addr) +
+                          " out of range");
 }
 
 void DeviceMemory::write_block(std::uint64_t addr, const std::uint32_t* words,

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "rtad/bus/slave.hpp"
@@ -18,11 +19,53 @@ class DeviceMemory final : public bus::Slave {
  public:
   explicit DeviceMemory(std::size_t size_bytes);
 
-  std::uint32_t read32(std::uint64_t addr) const override;
-  void write32(std::uint64_t addr, std::uint32_t value) override;
+  // Defined inline: both kernel interpreters issue one call per lane per
+  // memory instruction, which makes these the hottest functions in the
+  // whole simulator. The class is final, so direct calls devirtualize.
+  std::uint32_t read32(std::uint64_t addr) const override {
+    check(addr);
+    ++reads_;
+    std::uint32_t v;
+    std::memcpy(&v, bytes_.data() + addr, 4);
+    return v;
+  }
+  void write32(std::uint64_t addr, std::uint32_t value) override {
+    check(addr);
+    ++writes_;
+    std::memcpy(bytes_.data() + addr, &value, 4);
+  }
 
-  float read_f32(std::uint64_t addr) const;
-  void write_f32(std::uint64_t addr, float value);
+  float read_f32(std::uint64_t addr) const {
+    const std::uint32_t bits = read32(addr);
+    float f;
+    std::memcpy(&f, &bits, 4);
+    return f;
+  }
+  void write_f32(std::uint64_t addr, float value) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, 4);
+    write32(addr, bits);
+  }
+
+  // Whole-wave access for the fast-path SoA interpreter: it validates all
+  // 64 lane addresses with ok32() first, then peeks/pokes without the
+  // per-lane check and accounts the counters in one add. Any wave with a
+  // potentially faulting lane must take the per-lane read32/write32 path
+  // instead, so the fault fires on the same lane with the same counter
+  // values as the cycle-level interpreter.
+  bool ok32(std::uint64_t addr) const noexcept {
+    return addr % 4 == 0 && addr + 4 <= bytes_.size();
+  }
+  std::uint32_t peek32(std::uint64_t addr) const noexcept {
+    std::uint32_t v;
+    std::memcpy(&v, bytes_.data() + addr, 4);
+    return v;
+  }
+  void poke32(std::uint64_t addr, std::uint32_t value) noexcept {
+    std::memcpy(bytes_.data() + addr, &value, 4);
+  }
+  void account_reads(std::uint64_t n) const noexcept { reads_ += n; }
+  void account_writes(std::uint64_t n) noexcept { writes_ += n; }
 
   /// Bulk helpers for loaders (host-side model images).
   void write_block(std::uint64_t addr, const std::uint32_t* words,
@@ -37,7 +80,10 @@ class DeviceMemory final : public bus::Slave {
   std::uint64_t writes() const noexcept { return writes_; }
 
  private:
-  void check(std::uint64_t addr) const;
+  void check(std::uint64_t addr) const {
+    if (addr % 4 != 0 || addr + 4 > bytes_.size()) fail(addr);
+  }
+  [[noreturn]] void fail(std::uint64_t addr) const;
   std::vector<std::uint8_t> bytes_;
   mutable std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;

@@ -1,0 +1,188 @@
+#include "rtad/gpgpu/fastpath/fast_backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rtad/gpgpu/fastpath/fast_wave.hpp"
+#include "rtad/gpgpu/rtl_inventory.hpp"
+
+namespace rtad::gpgpu::fastpath {
+
+namespace {
+
+// Backstop against kernels that never retire (the cycle backend would spin
+// until the simulation's own limits); far above any real workload.
+constexpr std::uint64_t kMaxInstructionsPerWorkgroup = 400'000'000;
+
+bool trim_allows(const FastProgram& fp, const std::vector<bool>& retained) {
+  const auto& inv = RtlInventory::instance();
+  for (Opcode op : fp.used_ops) {
+    if (!retained[inv.format_unit(format_of(op))] ||
+        !retained[inv.pipe_unit(pipe_of(op))] ||
+        !retained[inv.opcode_unit(op)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void release_barrier_if_ready(std::vector<FastWave>& waves) {
+  for (const FastWave& w : waves) {
+    if (w.state == WaveState::kReady || w.state == WaveState::kBusy) return;
+  }
+  for (FastWave& w : waves) {
+    if (w.state == WaveState::kAtBarrier) w.state = WaveState::kReady;
+  }
+}
+
+}  // namespace
+
+const FastProgram* FastBackend::prepare(const Program& program,
+                                        const std::vector<bool>* retained) {
+  auto it = cache_.find(&program);
+  const bool hit = it != cache_.end() && it->second.code == program.code &&
+                   it->second.num_vgprs == program.num_vgprs &&
+                   it->second.lds_bytes == program.lds_bytes;
+  if (!hit) {
+    CacheEntry entry;
+    entry.code = program.code;
+    entry.num_vgprs = program.num_vgprs;
+    entry.lds_bytes = program.lds_bytes;
+    entry.fp = decode_fast_program(program);
+    it = cache_.insert_or_assign(&program, std::move(entry)).first;
+  }
+  const FastProgram* fp = it->second.fp.get();
+  if (fp == nullptr) return nullptr;
+  // The trim mask can change between launches (set_trim), so gate per
+  // prepare rather than per decode.
+  if (retained != nullptr && !trim_allows(*fp, *retained)) return nullptr;
+  return fp;
+}
+
+std::uint64_t FastBackend::run_workgroup(const FastProgram& fp,
+                                         std::uint32_t wgid,
+                                         std::uint32_t waves,
+                                         std::uint32_t kernarg_addr,
+                                         std::uint64_t dispatch_cycle,
+                                         std::uint64_t& issued) {
+  std::vector<std::uint32_t> lds(fp.lds_words, 0);
+  const std::uint64_t issue_cap = issued + kMaxInstructionsPerWorkgroup;
+
+  if (waves == 1) {
+    // Single wave: no issue contention, so timing is a prefix sum of the
+    // oracle's costs; execute whole basic blocks per iteration.
+    FastWave w;
+    init_fast_wave(w, fp.num_vgprs, kernarg_addr, wgid, 0, waves);
+    std::uint64_t t = dispatch_cycle;
+    for (;;) {
+      const FastBlock& b = fp.blocks[fp.block_at[w.pc]];
+      for (std::uint32_t i = b.first; i <= b.last; ++i) {
+        exec_fast(w, fp.code[i], mem_, lds);
+        ++issued;
+        if (w.state == WaveState::kDone) return t;  // s_endpgm issues at t
+        t += fp.cost[i];
+        // A lone wave clears its own barrier on the issuing cycle.
+        if (w.state == WaveState::kAtBarrier) w.state = WaveState::kReady;
+      }
+      if (issued >= issue_cap) {
+        throw std::runtime_error(
+            "fast backend: workgroup exceeded instruction budget");
+      }
+    }
+  }
+
+  // Multi-wave: replay ComputeUnit::tick exactly — wake, barrier release,
+  // round-robin single issue, busy latencies — with the SoA interpreter.
+  std::vector<FastWave> ws(waves);
+  for (std::uint32_t i = 0; i < waves; ++i) {
+    init_fast_wave(ws[i], fp.num_vgprs, kernarg_addr, wgid, i, waves);
+  }
+  std::uint32_t rr = 0;
+  std::uint64_t c = dispatch_cycle;
+  for (;;) {
+    for (FastWave& w : ws) {
+      if (w.state == WaveState::kBusy && w.busy_until <= c) {
+        w.state = WaveState::kReady;
+      }
+    }
+    release_barrier_if_ready(ws);
+    for (std::uint32_t k = 0; k < waves; ++k) {
+      FastWave& w = ws[(rr + k) % waves];
+      if (w.state != WaveState::kReady) continue;
+      const std::uint32_t pc = w.pc;
+      exec_fast(w, fp.code[pc], mem_, lds);
+      ++issued;
+      if (w.state == WaveState::kReady && fp.cost[pc] > 1) {
+        w.state = WaveState::kBusy;
+        w.busy_until = c + fp.cost[pc];
+      }
+      rr = (rr + k + 1) % waves;
+      break;
+    }
+    release_barrier_if_ready(ws);
+    bool all_done = true;
+    for (const FastWave& w : ws) {
+      if (w.state != WaveState::kDone) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) return c;
+    if (issued >= issue_cap) {
+      throw std::runtime_error(
+          "fast backend: workgroup exceeded instruction budget");
+    }
+    ++c;
+  }
+}
+
+LaunchPlan FastBackend::run(const FastProgram& fp, std::uint32_t workgroups,
+                            std::uint32_t waves_per_group,
+                            std::uint32_t kernarg_addr, std::uint32_t num_cus,
+                            std::uint32_t dispatch_latency,
+                            std::uint64_t launch_cycle) {
+  LaunchPlan plan;
+  plan.issued_per_cu.assign(num_cus, 0);
+  plan.spans.reserve(workgroups);
+
+  // Dispatcher replay. A CU that completes a workgroup on cycle e only
+  // reads as idle from cycle e + 1 (dispatch precedes CU ticks within a
+  // Gpu::tick); the cooldown stalls at zero while every CU is busy.
+  const std::uint64_t gap = std::max<std::uint64_t>(dispatch_latency, 1);
+  std::vector<std::uint64_t> free_at(num_cus, launch_cycle);
+  std::uint64_t next_ok = launch_cycle + gap;
+  for (std::uint32_t wg = 0; wg < workgroups; ++wg) {
+    std::uint64_t c = next_ok;
+    std::uint32_t cu = num_cus;
+    for (;;) {
+      cu = num_cus;
+      for (std::uint32_t i = 0; i < num_cus; ++i) {
+        if (free_at[i] < c) {
+          cu = i;
+          break;
+        }
+      }
+      if (cu != num_cus) break;
+      c = *std::min_element(free_at.begin(), free_at.end()) + 1;
+    }
+    const std::uint64_t done = run_workgroup(fp, wg, waves_per_group,
+                                             kernarg_addr, c,
+                                             plan.issued_per_cu[cu]);
+    plan.spans.push_back({cu, c, done});
+    free_at[cu] = done;
+    next_ok = c + gap;
+    plan.done_cycle = std::max(plan.done_cycle, done);
+  }
+
+  // Trace events are emitted in the cycle backend's order: completions
+  // ascending, CU index breaking ties within a cycle.
+  std::sort(plan.spans.begin(), plan.spans.end(),
+            [](const WorkgroupSpan& a, const WorkgroupSpan& b) {
+              return a.complete_cycle != b.complete_cycle
+                         ? a.complete_cycle < b.complete_cycle
+                         : a.cu < b.cu;
+            });
+  return plan;
+}
+
+}  // namespace rtad::gpgpu::fastpath

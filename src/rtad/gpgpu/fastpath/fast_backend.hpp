@@ -1,0 +1,79 @@
+// Fast-path execution backend: decode-once / execute-many.
+//
+// The cycle-level backend stays the timing oracle; this backend reproduces
+// its results analytically. Dispatcher timing is replayed in closed form
+// (first dispatch at launch + max(dispatch_latency, 1) cycles, one
+// workgroup per cooldown window to the lowest-index idle CU), single-wave
+// workgroups advance one basic block at a time accumulating the oracle's
+// per-instruction cycle costs, and multi-wave workgroups replay the CU's
+// round-robin issue loop cycle-by-cycle with the SoA interpreter. The
+// returned plan carries the exact completion cycle, per-CU instruction
+// counts, and per-workgroup dispatch/completion spans so cycle accounts,
+// traces, and DetectionResult timing stay byte-identical.
+//
+// Workgroups execute functionally in dispatch order rather than
+// cycle-interleaved, so programs whose workgroups race on device memory are
+// outside the equivalence contract (the ML kernels write disjoint regions;
+// the differential suites enforce this).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rtad/gpgpu/compute_unit.hpp"
+#include "rtad/gpgpu/device_memory.hpp"
+#include "rtad/gpgpu/fastpath/fast_program.hpp"
+
+namespace rtad::gpgpu::fastpath {
+
+/// One workgroup's life on a CU, in GPU-global cycles.
+struct WorkgroupSpan {
+  std::uint32_t cu = 0;
+  std::uint64_t dispatch_cycle = 0;
+  std::uint64_t complete_cycle = 0;
+};
+
+/// The oracle-exact schedule of a whole launch.
+struct LaunchPlan {
+  std::uint64_t done_cycle = 0;  ///< cycle the launch completes on
+  std::vector<WorkgroupSpan> spans;  ///< sorted by (complete_cycle, cu)
+  std::vector<std::uint64_t> issued_per_cu;
+};
+
+class FastBackend {
+ public:
+  explicit FastBackend(DeviceMemory& mem) : mem_(mem) {}
+
+  /// Decode `program` (or fetch it from the cache, revalidating that the
+  /// code was not rewritten in place). Returns nullptr when the program
+  /// must take the cycle path: decode-unsafe, or — when `retained` is a
+  /// trim mask — using an opcode whose decoder/pipe unit was trimmed, so
+  /// the cycle backend raises its canonical TrimViolation.
+  const FastProgram* prepare(const Program& program,
+                             const std::vector<bool>* retained);
+
+  /// Execute the launch functionally and return its schedule.
+  LaunchPlan run(const FastProgram& fp, std::uint32_t workgroups,
+                 std::uint32_t waves_per_group, std::uint32_t kernarg_addr,
+                 std::uint32_t num_cus, std::uint32_t dispatch_latency,
+                 std::uint64_t launch_cycle);
+
+ private:
+  std::uint64_t run_workgroup(const FastProgram& fp, std::uint32_t wgid,
+                              std::uint32_t waves, std::uint32_t kernarg_addr,
+                              std::uint64_t dispatch_cycle,
+                              std::uint64_t& issued);
+
+  struct CacheEntry {
+    std::vector<Instruction> code;
+    std::uint32_t num_vgprs = 0;
+    std::uint32_t lds_bytes = 0;
+    std::unique_ptr<FastProgram> fp;  ///< null = known cycle-only
+  };
+
+  DeviceMemory& mem_;
+  std::unordered_map<const Program*, CacheEntry> cache_;
+};
+
+}  // namespace rtad::gpgpu::fastpath

@@ -1,0 +1,310 @@
+#include "rtad/gpgpu/fastpath/fast_program.hpp"
+
+#include <algorithm>
+
+#include "rtad/gpgpu/wavefront.hpp"
+
+namespace rtad::gpgpu::fastpath {
+
+namespace {
+
+// The predicates below mirror the operand acceptance of the cycle
+// interpreter (Wavefront::read_operand_* / write_operand_*). An operand a
+// Wavefront accessor would throw on makes the whole program ineligible.
+
+bool scalar_readable(const Operand& op) {
+  switch (op.kind) {
+    case OperandKind::kSgpr: return op.index < kNumSgprs;
+    case OperandKind::kLiteral:
+    case OperandKind::kVcc:
+    case OperandKind::kExec:
+    case OperandKind::kScc:
+    case OperandKind::kM0: return true;
+    default: return false;
+  }
+}
+
+bool scalar_writable(const Operand& op) {
+  switch (op.kind) {
+    case OperandKind::kSgpr: return op.index < kNumSgprs;
+    case OperandKind::kVcc:
+    case OperandKind::kExec:
+    case OperandKind::kM0: return true;
+    default: return false;
+  }
+}
+
+bool scalar64_readable(const Operand& op) {
+  switch (op.kind) {
+    case OperandKind::kSgpr: return op.index + 1u < kNumSgprs;
+    case OperandKind::kLiteral:
+    case OperandKind::kVcc:
+    case OperandKind::kExec: return true;
+    default: return false;
+  }
+}
+
+bool scalar64_writable(const Operand& op) {
+  switch (op.kind) {
+    case OperandKind::kSgpr: return op.index + 1u < kNumSgprs;
+    case OperandKind::kVcc:
+    case OperandKind::kExec: return true;
+    default: return false;
+  }
+}
+
+bool lane_readable(const Operand& op, std::uint32_t num_vgprs) {
+  switch (op.kind) {
+    case OperandKind::kVgpr: return op.index < num_vgprs;
+    case OperandKind::kSgpr: return op.index < kNumSgprs;
+    case OperandKind::kLiteral:
+    case OperandKind::kM0: return true;
+    default: return false;
+  }
+}
+
+// The interpreter uses dst.index (or an address/data VGPR index) directly
+// regardless of the operand kind, so only the index range matters here.
+bool vgpr_index_ok(const Operand& op, std::uint32_t num_vgprs) {
+  return op.index < num_vgprs;
+}
+
+bool vgpr_pair_ok(const Operand& op, std::uint32_t num_vgprs) {
+  return op.index + 1u < num_vgprs;
+}
+
+bool f64_src_ok(const Operand& op, std::uint32_t num_vgprs) {
+  if (op.kind == OperandKind::kVgpr) return vgpr_pair_ok(op, num_vgprs);
+  return op.kind == OperandKind::kLiteral;
+}
+
+bool branch_target_ok(const Instruction& inst, std::size_t code_size) {
+  return inst.imm >= 0 && static_cast<std::size_t>(inst.imm) < code_size;
+}
+
+bool is_branch(Opcode op) {
+  switch (op) {
+    case Opcode::S_BRANCH:
+    case Opcode::S_CBRANCH_SCC0:
+    case Opcode::S_CBRANCH_SCC1:
+    case Opcode::S_CBRANCH_VCCZ:
+    case Opcode::S_CBRANCH_VCCNZ:
+    case Opcode::S_CBRANCH_EXECZ: return true;
+    default: return false;
+  }
+}
+
+bool instruction_ok(const Instruction& inst, std::uint32_t nv,
+                    std::size_t code_size) {
+  switch (inst.op) {
+    case Opcode::S_MOV_B32:
+    case Opcode::S_NOT_B32:
+      return scalar_readable(inst.src0) && scalar_writable(inst.dst);
+    case Opcode::S_MOVK_I32:
+      return scalar_writable(inst.dst);
+    case Opcode::S_ADD_I32:
+    case Opcode::S_ADD_U32:
+    case Opcode::S_SUB_I32:
+    case Opcode::S_MUL_I32:
+    case Opcode::S_AND_B32:
+    case Opcode::S_OR_B32:
+    case Opcode::S_XOR_B32:
+    case Opcode::S_LSHL_B32:
+    case Opcode::S_LSHR_B32:
+    case Opcode::S_ASHR_I32:
+    case Opcode::S_MIN_I32:
+    case Opcode::S_MAX_I32:
+      return scalar_readable(inst.src0) && scalar_readable(inst.src1) &&
+             scalar_writable(inst.dst);
+    case Opcode::S_CMP_EQ_I32:
+    case Opcode::S_CMP_LG_I32:
+    case Opcode::S_CMP_GT_I32:
+    case Opcode::S_CMP_GE_I32:
+    case Opcode::S_CMP_LT_I32:
+    case Opcode::S_CMP_LE_I32:
+      return scalar_readable(inst.src0) && scalar_readable(inst.src1);
+    case Opcode::S_MOV_B64:
+    case Opcode::S_NOT_B64:
+      return scalar64_readable(inst.src0) && scalar64_writable(inst.dst);
+    case Opcode::S_AND_B64:
+    case Opcode::S_OR_B64:
+    case Opcode::S_ANDN2_B64:
+      return scalar64_readable(inst.src0) && scalar64_readable(inst.src1) &&
+             scalar64_writable(inst.dst);
+    case Opcode::S_BRANCH:
+    case Opcode::S_CBRANCH_SCC0:
+    case Opcode::S_CBRANCH_SCC1:
+    case Opcode::S_CBRANCH_VCCZ:
+    case Opcode::S_CBRANCH_VCCNZ:
+    case Opcode::S_CBRANCH_EXECZ:
+      return branch_target_ok(inst, code_size);
+    case Opcode::S_BARRIER:
+    case Opcode::S_WAITCNT:
+    case Opcode::S_NOP:
+    case Opcode::S_SLEEP:
+    case Opcode::S_SENDMSG:
+    case Opcode::S_ENDPGM:
+      return true;
+    case Opcode::S_LOAD_DWORD:
+      return scalar_readable(inst.src0) && scalar_writable(inst.dst);
+    case Opcode::S_LOAD_DWORDX2:
+      return scalar_readable(inst.src0) && inst.dst.index + 1u < kNumSgprs;
+    case Opcode::S_LOAD_DWORDX4:
+      return scalar_readable(inst.src0) && inst.dst.index + 3u < kNumSgprs;
+    case Opcode::V_MOV_B32:
+    case Opcode::V_NOT_B32:
+    case Opcode::V_CVT_F32_I32:
+    case Opcode::V_CVT_I32_F32:
+    case Opcode::V_CVT_F32_U32:
+    case Opcode::V_CVT_U32_F32:
+    case Opcode::V_FLOOR_F32:
+    case Opcode::V_FRACT_F32:
+    case Opcode::V_RCP_F32:
+    case Opcode::V_RSQ_F32:
+    case Opcode::V_SQRT_F32:
+    case Opcode::V_EXP_F32:
+    case Opcode::V_LOG_F32:
+    case Opcode::V_SIN_F32:
+    case Opcode::V_COS_F32:
+    case Opcode::V_INTERP_P1_F32:
+    case Opcode::V_INTERP_P2_F32:
+      return lane_readable(inst.src0, nv) && vgpr_index_ok(inst.dst, nv);
+    case Opcode::V_ADD_F32:
+    case Opcode::V_SUB_F32:
+    case Opcode::V_MUL_F32:
+    case Opcode::V_MAC_F32:
+    case Opcode::V_MIN_F32:
+    case Opcode::V_MAX_F32:
+    case Opcode::V_ADD_I32:
+    case Opcode::V_SUB_I32:
+    case Opcode::V_MUL_LO_I32:
+    case Opcode::V_MUL_HI_U32:
+    case Opcode::V_LSHLREV_B32:
+    case Opcode::V_LSHRREV_B32:
+    case Opcode::V_ASHRREV_I32:
+    case Opcode::V_AND_B32:
+    case Opcode::V_OR_B32:
+    case Opcode::V_XOR_B32:
+    case Opcode::V_MIN_I32:
+    case Opcode::V_MAX_I32:
+    case Opcode::V_CNDMASK_B32:
+      return lane_readable(inst.src0, nv) && lane_readable(inst.src1, nv) &&
+             vgpr_index_ok(inst.dst, nv);
+    case Opcode::V_MAD_F32:
+    case Opcode::V_FMA_F32:
+      return lane_readable(inst.src0, nv) && lane_readable(inst.src1, nv) &&
+             lane_readable(inst.src2, nv) && vgpr_index_ok(inst.dst, nv);
+    case Opcode::V_CMP_EQ_F32:
+    case Opcode::V_CMP_NEQ_F32:
+    case Opcode::V_CMP_LT_F32:
+    case Opcode::V_CMP_LE_F32:
+    case Opcode::V_CMP_GT_F32:
+    case Opcode::V_CMP_GE_F32:
+    case Opcode::V_CMP_EQ_I32:
+    case Opcode::V_CMP_NE_I32:
+    case Opcode::V_CMP_LT_I32:
+    case Opcode::V_CMP_GT_I32:
+      return lane_readable(inst.src0, nv) && lane_readable(inst.src1, nv);
+    case Opcode::V_ADD_F64:
+    case Opcode::V_MUL_F64:
+      return f64_src_ok(inst.src0, nv) && f64_src_ok(inst.src1, nv) &&
+             vgpr_pair_ok(inst.dst, nv);
+    case Opcode::V_FMA_F64:
+      return f64_src_ok(inst.src0, nv) && f64_src_ok(inst.src1, nv) &&
+             f64_src_ok(inst.src2, nv) && vgpr_pair_ok(inst.dst, nv);
+    case Opcode::V_RCP_F64:
+      return f64_src_ok(inst.src0, nv) && vgpr_pair_ok(inst.dst, nv);
+    case Opcode::V_CVT_F64_F32:
+      return lane_readable(inst.src0, nv) && vgpr_pair_ok(inst.dst, nv);
+    case Opcode::V_CVT_F32_F64:
+      return f64_src_ok(inst.src0, nv) && vgpr_index_ok(inst.dst, nv);
+    case Opcode::GLOBAL_LOAD_DWORD:
+    case Opcode::GLOBAL_STORE_DWORD:
+      return scalar_readable(inst.src1) && vgpr_index_ok(inst.src0, nv) &&
+             vgpr_index_ok(inst.dst, nv);
+    case Opcode::DS_READ_B32:
+    case Opcode::DS_WRITE_B32:
+    case Opcode::DS_ADD_U32:
+      return vgpr_index_ok(inst.src0, nv) && vgpr_index_ok(inst.dst, nv);
+    case Opcode::BUFFER_ATOMIC_ADD:
+      return scalar_readable(inst.src1) && vgpr_index_ok(inst.src0, nv) &&
+             vgpr_index_ok(inst.src2, nv) && vgpr_index_ok(inst.dst, nv);
+    case Opcode::IMAGE_LOAD:
+    case Opcode::IMAGE_SAMPLE:
+      return vgpr_index_ok(inst.src0, nv) && vgpr_index_ok(inst.dst, nv);
+    case Opcode::EXP:
+      return vgpr_index_ok(inst.src0, nv);
+    case Opcode::kOpcodeCount:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::unique_ptr<FastProgram> decode_fast_program(const Program& program) {
+  const std::size_t size = program.code.size();
+  if (size == 0) return nullptr;
+  if (program.num_vgprs == 0 || program.num_vgprs > 256) return nullptr;
+
+  for (const Instruction& inst : program.code) {
+    if (!instruction_ok(inst, program.num_vgprs, size)) return nullptr;
+  }
+
+  // Leaders: entry, every branch target, every post-branch fallthrough.
+  std::vector<bool> leader(size, false);
+  leader[0] = true;
+  for (std::size_t i = 0; i < size; ++i) {
+    if (!is_branch(program.code[i].op)) continue;
+    leader[static_cast<std::size_t>(program.code[i].imm)] = true;
+    if (i + 1 < size) leader[i + 1] = true;
+  }
+
+  auto fp = std::make_unique<FastProgram>();
+  fp->code = program.code;
+  fp->num_vgprs = program.num_vgprs;
+  fp->lds_words = (program.lds_bytes + 3) / 4;
+  fp->cost.resize(size);
+  fp->block_at.resize(size);
+
+  std::vector<bool> seen(static_cast<std::size_t>(Opcode::kOpcodeCount),
+                         false);
+  for (std::size_t i = 0; i < size; ++i) {
+    const Opcode op = program.code[i].op;
+    fp->cost[i] = cycle_cost(op);
+    if (!seen[static_cast<std::size_t>(op)]) {
+      seen[static_cast<std::size_t>(op)] = true;
+      fp->used_ops.push_back(op);
+    }
+  }
+
+  // Slice into blocks; a block also ends at a barrier (a multi-wave
+  // rescheduling point) so the runners never batch across one.
+  std::uint32_t start = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    const Opcode op = program.code[i].op;
+    const bool terminates =
+        is_branch(op) || op == Opcode::S_BARRIER || op == Opcode::S_ENDPGM;
+    const bool next_is_leader = i + 1 < size && leader[i + 1];
+    if (terminates || next_is_leader || i + 1 == size) {
+      const auto block = static_cast<std::uint32_t>(fp->blocks.size());
+      fp->blocks.push_back({start, static_cast<std::uint32_t>(i)});
+      for (std::uint32_t pc = start; pc <= i; ++pc) fp->block_at[pc] = block;
+      start = static_cast<std::uint32_t>(i + 1);
+    }
+  }
+
+  // Any block whose terminator can fall through past the end of the kernel
+  // (no unconditional exit on the last path) must run on the cycle backend,
+  // which raises the canonical "PC past end" error.
+  for (const FastBlock& b : fp->blocks) {
+    const Opcode op = fp->code[b.last].op;
+    const bool falls_through =
+        op != Opcode::S_BRANCH && op != Opcode::S_ENDPGM;
+    if (falls_through && b.last + 1u >= size) return nullptr;
+  }
+
+  return fp;
+}
+
+}  // namespace rtad::gpgpu::fastpath

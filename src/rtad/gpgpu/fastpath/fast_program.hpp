@@ -1,0 +1,46 @@
+// Pre-decoded kernel representation for the fast-path backend.
+//
+// A FastProgram is built once per kernel: the instruction stream is
+// validated (every operand kind/index the cycle interpreter would accept,
+// every branch target in range), partitioned into basic blocks, and
+// annotated with the oracle's per-instruction cycle costs. Anything the
+// validator cannot prove safe — an operand the interpreter would reject, a
+// branch out of range, a path that can fall off the end of the kernel —
+// returns nullptr and the launch takes the cycle-level path, which raises
+// the canonical diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rtad/gpgpu/compute_unit.hpp"
+#include "rtad/gpgpu/isa.hpp"
+
+namespace rtad::gpgpu::fastpath {
+
+/// Half-open run of straight-line instructions; `last` (inclusive) is the
+/// terminator (branch / s_barrier / s_endpgm) or the instruction before the
+/// next leader.
+struct FastBlock {
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+};
+
+struct FastProgram {
+  std::vector<Instruction> code;    ///< decoded copy (cache validation)
+  std::vector<std::uint32_t> cost;  ///< cycle_cost() per instruction
+  std::vector<FastBlock> blocks;
+  std::vector<std::uint32_t> block_at;  ///< pc -> containing block index
+  std::vector<Opcode> used_ops;         ///< distinct opcodes (trim gating)
+  std::uint32_t num_vgprs = 0;
+  std::uint32_t lds_words = 0;
+};
+
+/// Decode + validate `program`. Returns nullptr when any instruction could
+/// make the cycle interpreter throw on operand shape, register range, or
+/// control flow — those launches must run on the cycle backend so the
+/// failure (or the trim check) reproduces exactly.
+std::unique_ptr<FastProgram> decode_fast_program(const Program& program);
+
+}  // namespace rtad::gpgpu::fastpath

@@ -1,0 +1,731 @@
+#include "rtad/gpgpu/fastpath/fast_wave.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "rtad/gpgpu/op_semantics.hpp"
+
+namespace rtad::gpgpu::fastpath {
+
+namespace {
+
+float as_f32(std::uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, 4);
+  return f;
+}
+
+std::uint32_t as_bits(float f) { return canon_f32_bits(f); }
+
+double as_f64(std::uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+
+std::uint64_t as_bits64(double d) { return canon_f64_bits(d); }
+
+/// A per-lane source resolved once per instruction: either a VGPR row or a
+/// broadcast scalar (SGPR / literal / M0).
+struct Lanes {
+  const std::uint32_t* vec = nullptr;
+  std::uint32_t scalar = 0;
+
+  std::uint32_t u(std::uint32_t lane) const {
+    return vec != nullptr ? vec[lane] : scalar;
+  }
+  float f(std::uint32_t lane) const { return as_f32(u(lane)); }
+};
+
+Lanes lanes(const FastWave& w, const Operand& op) {
+  switch (op.kind) {
+    case OperandKind::kVgpr: return {w.vgprs[op.index].data(), 0};
+    case OperandKind::kSgpr: return {nullptr, w.sgprs[op.index]};
+    case OperandKind::kLiteral: return {nullptr, op.literal};
+    case OperandKind::kM0: return {nullptr, w.m0};
+    default:
+      throw std::invalid_argument("operand not readable per-lane");
+  }
+}
+
+std::uint32_t read_scalar(const FastWave& w, const Operand& op) {
+  switch (op.kind) {
+    case OperandKind::kSgpr: return w.sgprs[op.index];
+    case OperandKind::kLiteral: return op.literal;
+    case OperandKind::kVcc: return static_cast<std::uint32_t>(w.vcc);
+    case OperandKind::kExec: return static_cast<std::uint32_t>(w.exec);
+    case OperandKind::kScc: return w.scc ? 1u : 0u;
+    case OperandKind::kM0: return w.m0;
+    default:
+      throw std::invalid_argument("operand not readable as scalar");
+  }
+}
+
+std::uint64_t read_scalar64(const FastWave& w, const Operand& op) {
+  switch (op.kind) {
+    case OperandKind::kSgpr:
+      return static_cast<std::uint64_t>(w.sgprs[op.index]) |
+             (static_cast<std::uint64_t>(w.sgprs[op.index + 1]) << 32);
+    case OperandKind::kLiteral:
+      return static_cast<std::uint64_t>(op.literal);  // zero-extended
+    case OperandKind::kVcc: return w.vcc;
+    case OperandKind::kExec: return w.exec;
+    default:
+      throw std::invalid_argument("operand not readable as 64-bit scalar");
+  }
+}
+
+void write_scalar(FastWave& w, const Operand& op, std::uint32_t v) {
+  switch (op.kind) {
+    case OperandKind::kSgpr: w.sgprs[op.index] = v; return;
+    case OperandKind::kVcc: w.vcc = v; return;
+    case OperandKind::kExec:
+      w.exec = (w.exec & ~0xFFFFFFFFULL) | v;
+      return;
+    case OperandKind::kM0: w.m0 = v; return;
+    default:
+      throw std::invalid_argument("operand not writable as scalar");
+  }
+}
+
+void write_scalar64(FastWave& w, const Operand& op, std::uint64_t v) {
+  switch (op.kind) {
+    case OperandKind::kSgpr:
+      w.sgprs[op.index] = static_cast<std::uint32_t>(v);
+      w.sgprs[op.index + 1] = static_cast<std::uint32_t>(v >> 32);
+      return;
+    case OperandKind::kVcc: w.vcc = v; return;
+    case OperandKind::kExec: w.exec = v; return;
+    default:
+      throw std::invalid_argument("operand not writable as 64-bit scalar");
+  }
+}
+
+std::uint32_t lds_word(std::vector<std::uint32_t>& lds,
+                       std::uint32_t byte_addr, bool write,
+                       std::uint32_t value) {
+  if (byte_addr % 4 != 0) throw std::invalid_argument("unaligned LDS access");
+  const std::uint32_t word = byte_addr / 4;
+  if (word >= lds.size()) throw std::out_of_range("LDS access");
+  if (write) {
+    lds[word] = value;
+    return value;
+  }
+  return lds[word];
+}
+
+template <typename Fn>
+void for_lanes(std::uint64_t exec, Fn&& fn) {
+  if (exec == ~0ULL) {
+    for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) fn(lane);
+    return;
+  }
+  for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) {
+    if (exec & (1ULL << lane)) fn(lane);
+  }
+}
+
+}  // namespace
+
+void init_fast_wave(FastWave& w, std::uint32_t num_vgprs,
+                    std::uint32_t kernarg_addr, std::uint32_t workgroup_id,
+                    std::uint32_t wave_in_group, std::uint32_t waves) {
+  w.pc = 0;
+  w.state = WaveState::kReady;
+  w.busy_until = 0;
+  w.exec = ~0ULL;
+  w.vcc = 0;
+  w.m0 = 0;
+  w.scc = false;
+  w.sgprs.fill(0);
+  w.vgprs.assign(num_vgprs, {});
+  w.sgprs[0] = kernarg_addr;
+  w.sgprs[1] = workgroup_id;
+  w.sgprs[2] = wave_in_group;
+  w.sgprs[3] = waves;
+  for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) {
+    w.vgprs[0][lane] = lane;
+    w.vgprs[1][lane] = wave_in_group * kWavefrontSize + lane;
+  }
+}
+
+void exec_fast(FastWave& w, const Instruction& inst, DeviceMemory& mem,
+               std::vector<std::uint32_t>& lds) {
+  w.pc = w.pc + 1;
+
+  auto vop2_f32 = [&](auto&& fn) {
+    const Lanes a = lanes(w, inst.src0);
+    const Lanes b = lanes(w, inst.src1);
+    auto& d = w.vgprs[inst.dst.index];
+    for_lanes(w.exec, [&](std::uint32_t lane) {
+      d[lane] = as_bits(fn(a.f(lane), b.f(lane)));
+    });
+  };
+
+  auto vop2_i32 = [&](auto&& fn) {
+    const Lanes a = lanes(w, inst.src0);
+    const Lanes b = lanes(w, inst.src1);
+    auto& d = w.vgprs[inst.dst.index];
+    for_lanes(w.exec, [&](std::uint32_t lane) {
+      d[lane] = fn(a.u(lane), b.u(lane));
+    });
+  };
+
+  auto vop1_f32 = [&](auto&& fn) {
+    const Lanes a = lanes(w, inst.src0);
+    auto& d = w.vgprs[inst.dst.index];
+    for_lanes(w.exec, [&](std::uint32_t lane) {
+      d[lane] = as_bits(fn(a.f(lane)));
+    });
+  };
+
+  auto vopc_f32 = [&](auto&& cmp) {
+    const Lanes a = lanes(w, inst.src0);
+    const Lanes b = lanes(w, inst.src1);
+    std::uint64_t result = 0;
+    for_lanes(w.exec, [&](std::uint32_t lane) {
+      if (cmp(a.f(lane), b.f(lane))) result |= 1ULL << lane;
+    });
+    w.vcc = result;
+  };
+
+  auto vopc_i32 = [&](auto&& cmp) {
+    const Lanes a = lanes(w, inst.src0);
+    const Lanes b = lanes(w, inst.src1);
+    std::uint64_t result = 0;
+    for_lanes(w.exec, [&](std::uint32_t lane) {
+      if (cmp(static_cast<std::int32_t>(a.u(lane)),
+              static_cast<std::int32_t>(b.u(lane)))) {
+        result |= 1ULL << lane;
+      }
+    });
+    w.vcc = result;
+  };
+
+  auto scalar2 = [&](auto&& fn) {
+    const std::uint32_t a = read_scalar(w, inst.src0);
+    const std::uint32_t b = read_scalar(w, inst.src1);
+    const std::uint32_t r = fn(a, b);
+    write_scalar(w, inst.dst, r);
+    w.scc = r != 0;
+  };
+
+  auto scmp = [&](auto&& cmp) {
+    w.scc = cmp(static_cast<std::int32_t>(read_scalar(w, inst.src0)),
+                static_cast<std::int32_t>(read_scalar(w, inst.src1)));
+  };
+
+  auto vgpr64_lane = [&](std::uint32_t reg, std::uint32_t lane) {
+    return static_cast<std::uint64_t>(w.vgprs[reg][lane]) |
+           (static_cast<std::uint64_t>(w.vgprs[reg + 1][lane]) << 32);
+  };
+  auto set_vgpr64_lane = [&](std::uint32_t reg, std::uint32_t lane,
+                             std::uint64_t v) {
+    w.vgprs[reg][lane] = static_cast<std::uint32_t>(v);
+    w.vgprs[reg + 1][lane] = static_cast<std::uint32_t>(v >> 32);
+  };
+  auto src_f64 = [&](const Operand& op, std::uint32_t lane) {
+    if (op.kind == OperandKind::kVgpr) return as_f64(vgpr64_lane(op.index, lane));
+    return static_cast<double>(as_f32(op.literal));
+  };
+  auto vop_f64 = [&](auto&& fn) {
+    for_lanes(w.exec, [&](std::uint32_t lane) {
+      set_vgpr64_lane(inst.dst.index, lane, as_bits64(fn(lane)));
+    });
+  };
+
+  switch (inst.op) {
+    // ---- scalar moves / logic / arithmetic ----
+    case Opcode::S_MOV_B32:
+      write_scalar(w, inst.dst, read_scalar(w, inst.src0));
+      break;
+    case Opcode::S_MOVK_I32:
+      write_scalar(w, inst.dst,
+                   static_cast<std::uint32_t>(
+                       static_cast<std::int32_t>(static_cast<std::int16_t>(
+                           inst.imm & 0xFFFF))));
+      break;
+    case Opcode::S_NOT_B32:
+      write_scalar(w, inst.dst, ~read_scalar(w, inst.src0));
+      w.scc = read_scalar(w, inst.dst) != 0;
+      break;
+    case Opcode::S_ADD_I32:
+    case Opcode::S_ADD_U32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a + b; });
+      break;
+    case Opcode::S_SUB_I32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a - b; });
+      break;
+    case Opcode::S_MUL_I32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a * b; });
+      break;
+    case Opcode::S_AND_B32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a & b; });
+      break;
+    case Opcode::S_OR_B32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a | b; });
+      break;
+    case Opcode::S_XOR_B32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a ^ b; });
+      break;
+    case Opcode::S_LSHL_B32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a << (b & 31); });
+      break;
+    case Opcode::S_LSHR_B32:
+      scalar2([](std::uint32_t a, std::uint32_t b) { return a >> (b & 31); });
+      break;
+    case Opcode::S_ASHR_I32:
+      scalar2([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >>
+                                          (b & 31));
+      });
+      break;
+    case Opcode::S_MIN_I32:
+      scalar2([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(
+            std::min(static_cast<std::int32_t>(a), static_cast<std::int32_t>(b)));
+      });
+      break;
+    case Opcode::S_MAX_I32:
+      scalar2([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(
+            std::max(static_cast<std::int32_t>(a), static_cast<std::int32_t>(b)));
+      });
+      break;
+
+    // ---- scalar compares ----
+    case Opcode::S_CMP_EQ_I32: scmp([](auto a, auto b) { return a == b; }); break;
+    case Opcode::S_CMP_LG_I32: scmp([](auto a, auto b) { return a != b; }); break;
+    case Opcode::S_CMP_GT_I32: scmp([](auto a, auto b) { return a > b; }); break;
+    case Opcode::S_CMP_GE_I32: scmp([](auto a, auto b) { return a >= b; }); break;
+    case Opcode::S_CMP_LT_I32: scmp([](auto a, auto b) { return a < b; }); break;
+    case Opcode::S_CMP_LE_I32: scmp([](auto a, auto b) { return a <= b; }); break;
+
+    // ---- scalar 64-bit ----
+    case Opcode::S_MOV_B64:
+      write_scalar64(w, inst.dst, read_scalar64(w, inst.src0));
+      break;
+    case Opcode::S_AND_B64:
+      write_scalar64(w, inst.dst, read_scalar64(w, inst.src0) &
+                                      read_scalar64(w, inst.src1));
+      break;
+    case Opcode::S_OR_B64:
+      write_scalar64(w, inst.dst, read_scalar64(w, inst.src0) |
+                                      read_scalar64(w, inst.src1));
+      break;
+    case Opcode::S_ANDN2_B64:
+      write_scalar64(w, inst.dst, read_scalar64(w, inst.src0) &
+                                      ~read_scalar64(w, inst.src1));
+      break;
+    case Opcode::S_NOT_B64:
+      write_scalar64(w, inst.dst, ~read_scalar64(w, inst.src0));
+      break;
+
+    // ---- control ----
+    case Opcode::S_BRANCH:
+      w.pc = static_cast<std::uint32_t>(inst.imm);
+      break;
+    case Opcode::S_CBRANCH_SCC0:
+      if (!w.scc) w.pc = static_cast<std::uint32_t>(inst.imm);
+      break;
+    case Opcode::S_CBRANCH_SCC1:
+      if (w.scc) w.pc = static_cast<std::uint32_t>(inst.imm);
+      break;
+    case Opcode::S_CBRANCH_VCCZ:
+      if (w.vcc == 0) w.pc = static_cast<std::uint32_t>(inst.imm);
+      break;
+    case Opcode::S_CBRANCH_VCCNZ:
+      if (w.vcc != 0) w.pc = static_cast<std::uint32_t>(inst.imm);
+      break;
+    case Opcode::S_CBRANCH_EXECZ:
+      if (w.exec == 0) w.pc = static_cast<std::uint32_t>(inst.imm);
+      break;
+    case Opcode::S_BARRIER: w.state = WaveState::kAtBarrier; break;
+    case Opcode::S_ENDPGM: w.state = WaveState::kDone; break;
+    case Opcode::S_WAITCNT:
+    case Opcode::S_NOP:
+    case Opcode::S_SLEEP:
+    case Opcode::S_SENDMSG:
+      break;
+
+    // ---- scalar memory ----
+    case Opcode::S_LOAD_DWORD: {
+      const std::uint64_t addr =
+          read_scalar(w, inst.src0) + static_cast<std::uint32_t>(inst.imm);
+      write_scalar(w, inst.dst, mem.read32(addr));
+      break;
+    }
+    case Opcode::S_LOAD_DWORDX2:
+    case Opcode::S_LOAD_DWORDX4: {
+      const int n = inst.op == Opcode::S_LOAD_DWORDX2 ? 2 : 4;
+      const std::uint64_t addr =
+          read_scalar(w, inst.src0) + static_cast<std::uint32_t>(inst.imm);
+      for (int i = 0; i < n; ++i) {
+        w.sgprs[inst.dst.index + static_cast<std::uint32_t>(i)] =
+            mem.read32(addr + 4 * static_cast<std::uint64_t>(i));
+      }
+      break;
+    }
+
+    // ---- vector moves / conversions ----
+    case Opcode::V_MOV_B32: {
+      const Lanes a = lanes(w, inst.src0);
+      auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) { d[lane] = a.u(lane); });
+      break;
+    }
+    case Opcode::V_NOT_B32: {
+      const Lanes a = lanes(w, inst.src0);
+      auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) { d[lane] = ~a.u(lane); });
+      break;
+    }
+    case Opcode::V_CVT_F32_I32: {
+      const Lanes a = lanes(w, inst.src0);
+      auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        d[lane] =
+            as_bits(static_cast<float>(static_cast<std::int32_t>(a.u(lane))));
+      });
+      break;
+    }
+    case Opcode::V_CVT_I32_F32: {
+      const Lanes a = lanes(w, inst.src0);
+      auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        d[lane] = static_cast<std::uint32_t>(cvt_f32_to_i32(a.f(lane)));
+      });
+      break;
+    }
+    case Opcode::V_CVT_F32_U32: {
+      const Lanes a = lanes(w, inst.src0);
+      auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        d[lane] = as_bits(static_cast<float>(a.u(lane)));
+      });
+      break;
+    }
+    case Opcode::V_CVT_U32_F32: {
+      const Lanes a = lanes(w, inst.src0);
+      auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        d[lane] = cvt_f32_to_u32(a.f(lane));
+      });
+      break;
+    }
+    case Opcode::V_FLOOR_F32:
+      vop1_f32([](float a) { return std::floor(a); });
+      break;
+    case Opcode::V_FRACT_F32:
+      vop1_f32([](float a) { return a - std::floor(a); });
+      break;
+
+    // ---- vector f32 ----
+    case Opcode::V_ADD_F32:
+      vop2_f32([](float a, float b) { return a + b; });
+      break;
+    case Opcode::V_SUB_F32:
+      vop2_f32([](float a, float b) { return a - b; });
+      break;
+    case Opcode::V_MUL_F32:
+      vop2_f32([](float a, float b) { return a * b; });
+      break;
+    case Opcode::V_MAC_F32: {
+      const Lanes a = lanes(w, inst.src0);
+      const Lanes b = lanes(w, inst.src1);
+      auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        d[lane] = as_bits(as_f32(d[lane]) + a.f(lane) * b.f(lane));
+      });
+      break;
+    }
+    case Opcode::V_MIN_F32:
+      vop2_f32([](float a, float b) { return std::min(a, b); });
+      break;
+    case Opcode::V_MAX_F32:
+      vop2_f32([](float a, float b) { return std::max(a, b); });
+      break;
+    case Opcode::V_MAD_F32:
+    case Opcode::V_FMA_F32: {
+      const Lanes a = lanes(w, inst.src0);
+      const Lanes b = lanes(w, inst.src1);
+      const Lanes c = lanes(w, inst.src2);
+      auto& d = w.vgprs[inst.dst.index];
+      const bool fused = inst.op == Opcode::V_FMA_F32;
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        d[lane] = as_bits(fused ? std::fma(a.f(lane), b.f(lane), c.f(lane))
+                                : a.f(lane) * b.f(lane) + c.f(lane));
+      });
+      break;
+    }
+
+    // ---- vector i32 ----
+    case Opcode::V_ADD_I32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return a + b; });
+      break;
+    case Opcode::V_SUB_I32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return a - b; });
+      break;
+    case Opcode::V_MUL_LO_I32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return a * b; });
+      break;
+    case Opcode::V_MUL_HI_U32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(a) * b) >> 32);
+      });
+      break;
+    case Opcode::V_LSHLREV_B32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return b << (a & 31); });
+      break;
+    case Opcode::V_LSHRREV_B32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return b >> (a & 31); });
+      break;
+    case Opcode::V_ASHRREV_I32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(static_cast<std::int32_t>(b) >>
+                                          (a & 31));
+      });
+      break;
+    case Opcode::V_AND_B32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return a & b; });
+      break;
+    case Opcode::V_OR_B32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return a | b; });
+      break;
+    case Opcode::V_XOR_B32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) { return a ^ b; });
+      break;
+    case Opcode::V_MIN_I32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(
+            std::min(static_cast<std::int32_t>(a), static_cast<std::int32_t>(b)));
+      });
+      break;
+    case Opcode::V_MAX_I32:
+      vop2_i32([](std::uint32_t a, std::uint32_t b) {
+        return static_cast<std::uint32_t>(
+            std::max(static_cast<std::int32_t>(a), static_cast<std::int32_t>(b)));
+      });
+      break;
+    case Opcode::V_CNDMASK_B32: {
+      const Lanes a = lanes(w, inst.src0);
+      const Lanes b = lanes(w, inst.src1);
+      auto& d = w.vgprs[inst.dst.index];
+      const std::uint64_t sel = w.vcc;
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        d[lane] = ((sel >> lane) & 1) ? b.u(lane) : a.u(lane);
+      });
+      break;
+    }
+
+    // ---- transcendentals ----
+    case Opcode::V_RCP_F32: vop1_f32([](float a) { return 1.0f / a; }); break;
+    case Opcode::V_RSQ_F32:
+      vop1_f32([](float a) { return 1.0f / std::sqrt(a); });
+      break;
+    case Opcode::V_SQRT_F32:
+      vop1_f32([](float a) { return std::sqrt(a); });
+      break;
+    case Opcode::V_EXP_F32:  // SI semantics: 2^x
+      vop1_f32([](float a) { return std::exp2(a); });
+      break;
+    case Opcode::V_LOG_F32:  // SI semantics: log2(x)
+      vop1_f32([](float a) { return std::log2(a); });
+      break;
+    case Opcode::V_SIN_F32: vop1_f32([](float a) { return std::sin(a); }); break;
+    case Opcode::V_COS_F32: vop1_f32([](float a) { return std::cos(a); }); break;
+
+    // ---- vector compares ----
+    case Opcode::V_CMP_EQ_F32: vopc_f32([](float a, float b) { return a == b; }); break;
+    case Opcode::V_CMP_NEQ_F32: vopc_f32([](float a, float b) { return a != b; }); break;
+    case Opcode::V_CMP_LT_F32: vopc_f32([](float a, float b) { return a < b; }); break;
+    case Opcode::V_CMP_LE_F32: vopc_f32([](float a, float b) { return a <= b; }); break;
+    case Opcode::V_CMP_GT_F32: vopc_f32([](float a, float b) { return a > b; }); break;
+    case Opcode::V_CMP_GE_F32: vopc_f32([](float a, float b) { return a >= b; }); break;
+    case Opcode::V_CMP_EQ_I32: vopc_i32([](auto a, auto b) { return a == b; }); break;
+    case Opcode::V_CMP_NE_I32: vopc_i32([](auto a, auto b) { return a != b; }); break;
+    case Opcode::V_CMP_LT_I32: vopc_i32([](auto a, auto b) { return a < b; }); break;
+    case Opcode::V_CMP_GT_I32: vopc_i32([](auto a, auto b) { return a > b; }); break;
+
+    // ---- double-precision pipe ----
+    case Opcode::V_ADD_F64:
+      vop_f64([&](std::uint32_t lane) {
+        return src_f64(inst.src0, lane) + src_f64(inst.src1, lane);
+      });
+      break;
+    case Opcode::V_MUL_F64:
+      vop_f64([&](std::uint32_t lane) {
+        return src_f64(inst.src0, lane) * src_f64(inst.src1, lane);
+      });
+      break;
+    case Opcode::V_FMA_F64:
+      vop_f64([&](std::uint32_t lane) {
+        return std::fma(src_f64(inst.src0, lane), src_f64(inst.src1, lane),
+                        src_f64(inst.src2, lane));
+      });
+      break;
+    case Opcode::V_RCP_F64:
+      vop_f64([&](std::uint32_t lane) { return 1.0 / src_f64(inst.src0, lane); });
+      break;
+    case Opcode::V_CVT_F64_F32: {
+      const Lanes a = lanes(w, inst.src0);
+      vop_f64([&](std::uint32_t lane) {
+        return static_cast<double>(a.f(lane));
+      });
+      break;
+    }
+    case Opcode::V_CVT_F32_F64:
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        w.vgprs[inst.dst.index][lane] =
+            as_bits(static_cast<float>(src_f64(inst.src0, lane)));
+      });
+      break;
+
+    // ---- vector memory ----
+    case Opcode::GLOBAL_LOAD_DWORD: {
+      const std::uint32_t base = read_scalar(w, inst.src1);
+      const auto& a = w.vgprs[inst.src0.index];
+      auto& d = w.vgprs[inst.dst.index];
+      const std::uint32_t off = static_cast<std::uint32_t>(inst.imm);
+      if (w.exec == ~0ULL) {
+        // Whole-wave bulk path: validate every lane address up front, then
+        // load with a single counter update. A wave with any potentially
+        // faulting lane drops to the per-lane loop below so the exception
+        // fires on the same lane with the same access counts.
+        std::uint32_t addrs[kWavefrontSize];
+        bool ok = true;
+        for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) {
+          addrs[lane] = base + a[lane] + off;
+          ok &= mem.ok32(addrs[lane]);
+        }
+        if (ok) {
+          mem.account_reads(kWavefrontSize);
+          for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) {
+            d[lane] = mem.peek32(addrs[lane]);
+          }
+          break;
+        }
+      }
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        const std::uint64_t addr = base + a[lane] + off;
+        d[lane] = mem.read32(addr);
+      });
+      break;
+    }
+    case Opcode::GLOBAL_STORE_DWORD: {
+      const std::uint32_t base = read_scalar(w, inst.src1);
+      const auto& a = w.vgprs[inst.src0.index];
+      const auto& d = w.vgprs[inst.dst.index];
+      const std::uint32_t off = static_cast<std::uint32_t>(inst.imm);
+      if (w.exec == ~0ULL) {
+        std::uint32_t addrs[kWavefrontSize];
+        bool ok = true;
+        for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) {
+          addrs[lane] = base + a[lane] + off;
+          ok &= mem.ok32(addrs[lane]);
+        }
+        if (ok) {
+          mem.account_writes(kWavefrontSize);
+          for (std::uint32_t lane = 0; lane < kWavefrontSize; ++lane) {
+            mem.poke32(addrs[lane], d[lane]);
+          }
+          break;
+        }
+      }
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        const std::uint64_t addr = base + a[lane] + off;
+        mem.write32(addr, d[lane]);
+      });
+      break;
+    }
+
+    // ---- LDS ----
+    case Opcode::DS_READ_B32: {
+      const auto& a = w.vgprs[inst.src0.index];
+      auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        const std::uint32_t addr =
+            a[lane] + static_cast<std::uint32_t>(inst.imm);
+        d[lane] = lds_word(lds, addr, false, 0);
+      });
+      break;
+    }
+    case Opcode::DS_WRITE_B32: {
+      const auto& a = w.vgprs[inst.src0.index];
+      const auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        const std::uint32_t addr =
+            a[lane] + static_cast<std::uint32_t>(inst.imm);
+        lds_word(lds, addr, true, d[lane]);
+      });
+      break;
+    }
+    case Opcode::DS_ADD_U32: {
+      const auto& a = w.vgprs[inst.src0.index];
+      const auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        const std::uint32_t addr =
+            a[lane] + static_cast<std::uint32_t>(inst.imm);
+        const std::uint32_t old = lds_word(lds, addr, false, 0);
+        lds_word(lds, addr, true, old + d[lane]);
+      });
+      break;
+    }
+
+    // ---- atomics / graphics-legacy pipes ----
+    case Opcode::BUFFER_ATOMIC_ADD: {
+      const std::uint32_t base = read_scalar(w, inst.src1);
+      const auto& a = w.vgprs[inst.src0.index];
+      const auto& s = w.vgprs[inst.src2.index];
+      auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        const std::uint64_t addr =
+            base + a[lane] + static_cast<std::uint32_t>(inst.imm);
+        const std::uint32_t old = mem.read32(addr);
+        mem.write32(addr, old + s[lane]);
+        d[lane] = old;
+      });
+      break;
+    }
+    case Opcode::IMAGE_LOAD:
+    case Opcode::IMAGE_SAMPLE: {
+      const auto& a = w.vgprs[inst.src0.index];
+      auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        const std::uint64_t addr = w.m0 + 4ULL * a[lane];
+        d[lane] = mem.read32(addr);
+      });
+      break;
+    }
+    case Opcode::V_INTERP_P1_F32: {
+      const Lanes a = lanes(w, inst.src0);
+      auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        d[lane] = as_bits(0.5f * a.f(lane));
+      });
+      break;
+    }
+    case Opcode::V_INTERP_P2_F32: {
+      const Lanes a = lanes(w, inst.src0);
+      auto& d = w.vgprs[inst.dst.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        d[lane] = as_bits(as_f32(d[lane]) + 0.5f * a.f(lane));
+      });
+      break;
+    }
+    case Opcode::EXP: {
+      const auto& a = w.vgprs[inst.src0.index];
+      for_lanes(w.exec, [&](std::uint32_t lane) {
+        mem.write32(w.m0 + 4ULL * lane, a[lane]);
+      });
+      break;
+    }
+
+    case Opcode::kOpcodeCount:
+      throw std::logic_error("invalid opcode");
+  }
+}
+
+}  // namespace rtad::gpgpu::fastpath

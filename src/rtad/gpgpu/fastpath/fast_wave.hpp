@@ -1,0 +1,44 @@
+// Structure-of-arrays wavefront state for the fast-path backend.
+//
+// Functionally identical to Wavefront (same register files, same EXEC/VCC/
+// SCC/M0 semantics, same memory and LDS behaviour including exception
+// messages), minus the coverage bookkeeping and per-access bounds checks —
+// decode_fast_program() proved every register index in range up front.
+// Floating-point expressions are written exactly as in wavefront.cpp so the
+// two interpreters are bit-identical on every defined input.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "rtad/gpgpu/device_memory.hpp"
+#include "rtad/gpgpu/isa.hpp"
+#include "rtad/gpgpu/wavefront.hpp"
+
+namespace rtad::gpgpu::fastpath {
+
+struct FastWave {
+  std::uint32_t pc = 0;
+  WaveState state = WaveState::kReady;
+  std::uint64_t busy_until = 0;  ///< CU-local completion time when kBusy
+  std::uint64_t exec = ~0ULL;
+  std::uint64_t vcc = 0;
+  std::uint32_t m0 = 0;
+  bool scc = false;
+  std::array<std::uint32_t, kNumSgprs> sgprs{};
+  std::vector<std::array<std::uint32_t, kWavefrontSize>> vgprs;
+};
+
+/// Apply the launch ABI (mirrors ComputeUnit::start).
+void init_fast_wave(FastWave& w, std::uint32_t num_vgprs,
+                    std::uint32_t kernarg_addr, std::uint32_t workgroup_id,
+                    std::uint32_t wave_in_group, std::uint32_t waves);
+
+/// Execute one instruction: advances pc (including taken branches), applies
+/// all architectural effects, and updates `state` for s_barrier/s_endpgm.
+/// The instruction must come from a validated FastProgram.
+void exec_fast(FastWave& w, const Instruction& inst, DeviceMemory& mem,
+               std::vector<std::uint32_t>& lds);
+
+}  // namespace rtad::gpgpu::fastpath

@@ -1,8 +1,27 @@
 #include "rtad/gpgpu/gpu.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "rtad/core/env.hpp"
+#include "rtad/gpgpu/fastpath/fast_backend.hpp"
+
 namespace rtad::gpgpu {
+
+GpuBackend default_gpu_backend() {
+  // Resolved once per process, like default_sched_mode(): a typo'd backend
+  // selection throws on first use instead of silently running cycle-level.
+  static const GpuBackend backend =
+      core::env::choice_or("RTAD_BACKEND", {"cycle", "fast"}, "cycle") ==
+              "fast"
+          ? GpuBackend::kFast
+          : GpuBackend::kCycle;
+  return backend;
+}
+
+const char* to_string(GpuBackend backend) noexcept {
+  return backend == GpuBackend::kFast ? "fast" : "cycle";
+}
 
 Gpu::Gpu(GpuConfig config)
     : sim::Component("gpu"),
@@ -14,7 +33,12 @@ Gpu::Gpu(GpuConfig config)
     cus_.push_back(std::make_unique<ComputeUnit>(
         i, *mem_, config.collect_coverage ? &coverage_ : nullptr, nullptr));
   }
+  if (config_.backend == GpuBackend::kFast) {
+    fast_ = std::make_unique<fastpath::FastBackend>(*mem_);
+  }
 }
+
+Gpu::~Gpu() = default;
 
 void Gpu::reset() {
   // Device memory contents survive reset (it is SRAM with a loaded model);
@@ -26,6 +50,9 @@ void Gpu::reset() {
   groups_in_flight_ = 0;
   dispatch_cooldown_ = 0;
   cycle_ = 0;
+  fast_pending_ = false;
+  fast_running_ = false;
+  fast_done_cycle_ = 0;
 }
 
 void Gpu::set_trim(std::optional<std::vector<bool>> retained) {
@@ -66,6 +93,11 @@ void Gpu::launch(const LaunchConfig& launch) {
   dispatch_cooldown_ = config_.dispatch_latency;
   launch_active_ = true;
   launch_start_cycle_ = cycle_;
+  // Coverage collection needs the per-issue recording only the cycle
+  // backend performs; the fast-path decision is re-taken per launch.
+  fast_pending_ =
+      config_.backend == GpuBackend::kFast && !config_.collect_coverage;
+  launch_wall_start_ = std::chrono::steady_clock::now();
   kernel_trace_.begin(launch.program->name, sim_now());
   // The GPU domain sleeps between launches; pull it back onto its edges.
   request_wake();
@@ -84,8 +116,12 @@ void Gpu::set_observability(obs::Observer& ob, const std::string& domain) {
 }
 
 void Gpu::on_cycles_skipped(sim::Cycle n) {
-  // Skips only happen between launches, when every CU is idle.
-  obs::bump(acct_, obs::CycleBucket::kIdle, n);
+  // Skips happen between launches (idle) or while a fast-backend launch
+  // waits out its planned cycle count (busy — the cycle backend would have
+  // ticked through those cycles, so the accounts must match it).
+  obs::bump(acct_,
+            launch_active_ ? obs::CycleBucket::kBusy : obs::CycleBucket::kIdle,
+            n);
   cycle_ += n;
   for (auto& cu : cus_) cu->skip_cycles(n);
 }
@@ -98,10 +134,68 @@ std::uint64_t Gpu::instructions_issued() const {
   return total;
 }
 
+void Gpu::account_launch_wall() {
+  launch_wall_ns_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - launch_wall_start_)
+          .count());
+}
+
+bool Gpu::plan_fast_launch() {
+  const fastpath::FastProgram* fp =
+      fast_->prepare(*program_, retained_ ? &*retained_ : nullptr);
+  if (fp == nullptr) return false;
+
+  const fastpath::LaunchPlan plan =
+      fast_->run(*fp, workgroups_, waves_per_group_, kernarg_addr_,
+                 static_cast<std::uint32_t>(cus_.size()),
+                 config_.dispatch_latency, launch_start_cycle_);
+  fast_done_cycle_ = plan.done_cycle;
+  for (std::size_t i = 0; i < cus_.size(); ++i) {
+    cus_[i]->credit_issued(plan.issued_per_cu[i]);
+  }
+
+  // Emit the per-CU workgroup spans now, stamped with the timestamps the
+  // cycle backend's edges would have carried. sim_now() is the edge of the
+  // current cycle_; spans lie at planned future cycles of the same domain.
+  const sim::Picoseconds now = sim_now();
+  for (const fastpath::WorkgroupSpan& span : plan.spans) {
+    if (span.cu >= cu_traces_.size()) continue;
+    cu_traces_[span.cu].begin(
+        program_->name,
+        now + (span.dispatch_cycle - cycle_) * config_.clock_period_ps);
+    cu_traces_[span.cu].end(
+        now + (span.complete_cycle - cycle_) * config_.clock_period_ps);
+  }
+  ++fast_launches_;
+  return true;
+}
+
 void Gpu::tick() {
   obs::bump(acct_, launch_active_ ? obs::CycleBucket::kBusy
                                   : obs::CycleBucket::kIdle);
   ++cycle_;
+
+  if (fast_pending_) {
+    // First edge after launch(): memory holds the final kernargs, so the
+    // whole launch can execute functionally here. On fallback the cycle
+    // dispatcher below takes over this very tick, exactly as if the launch
+    // had been cycle-backed all along.
+    fast_pending_ = false;
+    fast_running_ = plan_fast_launch();
+  }
+  if (fast_running_) {
+    for (auto& cu : cus_) cu->skip_cycles(1);
+    if (cycle_ >= fast_done_cycle_) {
+      fast_running_ = false;
+      launch_active_ = false;
+      last_launch_cycles_ = cycle_ - launch_start_cycle_;
+      account_launch_wall();
+      kernel_trace_.end(sim_now());
+      if (completion_hook_) completion_hook_();
+    }
+    return;
+  }
 
   if (launch_active_) {
     // Serial dispatcher: one workgroup assignment per dispatch_latency.
@@ -136,6 +230,7 @@ void Gpu::tick() {
       groups_in_flight_ == 0) {
     launch_active_ = false;
     last_launch_cycles_ = cycle_ - launch_start_cycle_;
+    account_launch_wall();
     kernel_trace_.end(sim_now());
     if (completion_hook_) completion_hook_();
   }
@@ -148,6 +243,14 @@ std::uint64_t Gpu::run_to_completion(std::uint64_t max_cycles) {
       throw std::runtime_error("kernel did not complete within cycle limit");
     }
     tick();
+    // Offline use has no event scheduler to honor the idle hint; replay the
+    // fast backend's dead cycles in bulk here (capped so the cycle-limit
+    // check above still fires at the same threshold).
+    if (fast_running_ && fast_done_cycle_ > cycle_ + 1) {
+      std::uint64_t n = fast_done_cycle_ - cycle_ - 1;
+      n = std::min(n, start + max_cycles - cycle_);
+      if (n > 0) on_cycles_skipped(n);
+    }
   }
   return cycle_ - start;
 }

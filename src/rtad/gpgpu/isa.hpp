@@ -162,6 +162,8 @@ struct Instruction {
   Operand src2;
   std::int32_t imm = 0;   ///< SOPP branch target (instr index), offsets, ...
   std::uint32_t line = 0; ///< assembler source line (diagnostics)
+
+  bool operator==(const Instruction&) const = default;
 };
 
 }  // namespace rtad::gpgpu

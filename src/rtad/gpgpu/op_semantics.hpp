@@ -1,0 +1,55 @@
+// Shared float->integer conversion semantics.
+//
+// Both interpreters (the cycle-level Wavefront and the fastpath SoA
+// executor) must produce bit-identical results for every input, including
+// the out-of-range and NaN patterns a fuzzer feeds them. A plain
+// static_cast is undefined for those inputs; SI hardware clamps. These
+// helpers pin one defined, hardware-like behaviour in a single place so
+// the two backends cannot drift.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace rtad::gpgpu {
+
+/// Bit pattern written back for any float-typed VALU result that is NaN.
+/// IEEE 754 leaves NaN payload propagation through arithmetic unspecified
+/// and in practice it follows the compiler's operand ordering, so the two
+/// backends (built with different optimisation flags) can legitimately
+/// produce different payloads from the same inputs. Pinning one canonical
+/// quiet NaN at the register-write boundary keeps them bit-identical.
+inline std::uint32_t canon_f32_bits(float f) noexcept {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  // NaN test on the integer side (|x| above +inf) keeps the hot VALU
+  // loops branch-free and vectorizable.
+  return (b & 0x7FFFFFFFu) > 0x7F800000u ? 0x7FC00000u : b;
+}
+
+inline std::uint64_t canon_f64_bits(double d) noexcept {
+  std::uint64_t b;
+  std::memcpy(&b, &d, 8);
+  return (b & 0x7FFFFFFFFFFFFFFFull) > 0x7FF0000000000000ull
+             ? 0x7FF8000000000000ull
+             : b;
+}
+
+/// v_cvt_i32_f32: truncate toward zero, saturate at the i32 range, NaN -> 0.
+inline std::int32_t cvt_f32_to_i32(float f) noexcept {
+  if (std::isnan(f)) return 0;
+  if (f >= 2147483648.0f) return INT32_MAX;
+  if (f <= -2147483648.0f) return INT32_MIN;
+  return static_cast<std::int32_t>(f);
+}
+
+/// v_cvt_u32_f32: truncate toward zero, clamp negatives and NaN to 0,
+/// saturate at the u32 range.
+inline std::uint32_t cvt_f32_to_u32(float f) noexcept {
+  if (std::isnan(f) || f <= 0.0f) return 0;
+  if (f >= 4294967296.0f) return UINT32_MAX;
+  return static_cast<std::uint32_t>(f);
+}
+
+}  // namespace rtad::gpgpu

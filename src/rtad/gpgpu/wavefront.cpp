@@ -12,6 +12,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "rtad/gpgpu/op_semantics.hpp"
+
 namespace rtad::gpgpu {
 
 namespace {
@@ -22,11 +24,7 @@ float as_f32(std::uint32_t bits) {
   return f;
 }
 
-std::uint32_t as_bits(float f) {
-  std::uint32_t b;
-  std::memcpy(&b, &f, 4);
-  return b;
-}
+std::uint32_t as_bits(float f) { return canon_f32_bits(f); }
 
 double as_f64(std::uint64_t bits) {
   double d;
@@ -34,11 +32,7 @@ double as_f64(std::uint64_t bits) {
   return d;
 }
 
-std::uint64_t as_bits64(double d) {
-  std::uint64_t b;
-  std::memcpy(&b, &d, 8);
-  return b;
-}
+std::uint64_t as_bits64(double d) { return canon_f64_bits(d); }
 
 }  // namespace
 
@@ -427,8 +421,8 @@ void Wavefront::execute(const Instruction& inst, ExecContext& ctx) {
     case Opcode::V_CVT_I32_F32:
       for_active([&](std::uint32_t lane) {
         set_vgpr(inst.dst.index, lane,
-                 static_cast<std::uint32_t>(static_cast<std::int32_t>(
-                     read_operand_lane_f(inst.src0, lane))));
+                 static_cast<std::uint32_t>(
+                     cvt_f32_to_i32(read_operand_lane_f(inst.src0, lane))));
       });
       break;
     case Opcode::V_CVT_F32_U32:
@@ -439,9 +433,8 @@ void Wavefront::execute(const Instruction& inst, ExecContext& ctx) {
       break;
     case Opcode::V_CVT_U32_F32:
       for_active([&](std::uint32_t lane) {
-        const float f = read_operand_lane_f(inst.src0, lane);
         set_vgpr(inst.dst.index, lane,
-                 f <= 0.0f ? 0u : static_cast<std::uint32_t>(f));
+                 cvt_f32_to_u32(read_operand_lane_f(inst.src0, lane)));
       });
       break;
     case Opcode::V_FLOOR_F32:
