@@ -15,6 +15,10 @@
 // restrict the matrix columns (the summary lines adapt: engine-speedup
 // ratios need both engines, the overall line needs the full matrix);
 // RTAD_FIG8_ATTACKS=N sets attacks per configuration (default 8);
+// RTAD_FIG8_PROTO="pft,etrace" adds a trace-protocol axis to the matrix
+// (default: just the process protocol, i.e. RTAD_TRACE_PROTO — the table
+// shape and stdout are unchanged unless more than one protocol is listed;
+// per-protocol bytes/branch and decode-cycle stats go to stderr);
 // RTAD_JOBS=N sets worker count (default: hardware concurrency);
 // RTAD_FIG8_FAST_TRAIN=1 shrinks the training corpus so CI perf smokes are
 // dominated by simulation, not host-side model training (the resulting
@@ -41,6 +45,7 @@
 #include "rtad/core/experiment_runner.hpp"
 #include "rtad/core/report.hpp"
 #include "rtad/ml/kernel_compiler.hpp"
+#include "rtad/trace/protocol.hpp"
 
 using namespace rtad;
 
@@ -83,6 +88,24 @@ std::vector<core::ModelKind> selected_models() {
   return {core::ModelKind::kElm, core::ModelKind::kLstm};
 }
 
+std::vector<trace::TraceProtocol> selected_protocols() {
+  if (const char* env = std::getenv("RTAD_FIG8_PROTO")) {
+    std::vector<trace::TraceProtocol> protos;
+    for (const auto& item : csv_items(env)) {
+      if (item == "pft") {
+        protos.push_back(trace::TraceProtocol::kPft);
+      } else if (item == "etrace") {
+        protos.push_back(trace::TraceProtocol::kEtrace);
+      } else {
+        std::cerr << "fig8: unknown protocol '" << item << "' (pft|etrace)\n";
+        std::exit(2);
+      }
+    }
+    if (!protos.empty()) return protos;
+  }
+  return {trace::default_trace_protocol()};
+}
+
 std::vector<core::EngineKind> selected_engines() {
   if (const char* env = std::getenv("RTAD_FIG8_ENGINES")) {
     std::vector<core::EngineKind> engines;
@@ -122,19 +145,24 @@ int main() {
     dopt.attacks = static_cast<std::size_t>(std::atoi(env));
   }
 
-  // Cell order per benchmark is model-major: ELM/MIAOW, ELM/ML-MIAOW,
-  // LSTM/MIAOW, LSTM/ML-MIAOW in the full matrix — the table's column
-  // order.
+  // Cell order per benchmark is protocol-major then model-major: with the
+  // default single protocol that's ELM/MIAOW, ELM/ML-MIAOW, LSTM/MIAOW,
+  // LSTM/ML-MIAOW in the full matrix — the table's column order.
   const auto benchmarks = selected_benchmarks();
+  const auto protos = selected_protocols();
   const auto models = selected_models();
   const auto engines = selected_engines();
-  const std::size_t stride = models.size() * engines.size();
+  const std::size_t stride = protos.size() * models.size() * engines.size();
   std::vector<core::DetectionCell> cells;
   cells.reserve(benchmarks.size() * stride);
   for (const auto& name : benchmarks) {
-    for (const auto model : models) {
-      for (const auto engine : engines) {
-        cells.push_back({name, model, engine, dopt});
+    for (const auto proto : protos) {
+      for (const auto model : models) {
+        for (const auto engine : engines) {
+          core::DetectionOptions popt = dopt;
+          popt.proto = proto;
+          cells.push_back({name, model, engine, popt});
+        }
       }
     }
   }
@@ -236,18 +264,54 @@ int main() {
             << " skipped_edge_groups=" << skipped_groups
             << " skipped_cycles=" << skipped_cycles << "\n";
 
+  // Per-protocol trace-frontend costs: encoder bandwidth (bytes per decoded
+  // branch) and IGM decode occupancy. Diagnostics only (stderr) — the
+  // protocol axis must never perturb the stdout table for a fixed protocol
+  // list.
+  for (const auto proto : protos) {
+    std::uint64_t bytes = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t busy = 0;
+    for (const auto& r : results) {
+      if (r.detection.trace_protocol != proto) continue;
+      bytes += r.detection.trace_bytes_generated;
+      branches += r.detection.decode_branches;
+      busy += r.detection.igm_busy_cycles;
+    }
+    const double per_branch =
+        branches > 0
+            ? static_cast<double>(bytes) / static_cast<double>(branches)
+            : 0.0;
+    std::cerr << "fig8: proto=" << trace::to_string(proto)
+              << " trace_bytes=" << bytes << " decode_branches=" << branches
+              << " bytes_per_branch=" << core::fmt(per_branch, 3)
+              << " igm_busy_cycles=" << busy << "\n";
+  }
+
+  // Column labels carry a protocol prefix only when the protocol axis is
+  // actually swept — the default table is byte-identical to the
+  // single-protocol one.
+  const auto proto_prefix = [&](trace::TraceProtocol proto) {
+    return protos.size() > 1 ? std::string(trace::to_string(proto)) + ":"
+                             : std::string();
+  };
   std::vector<std::string> headers{"Benchmark"};
-  for (const auto model : models) {
-    for (const auto engine : engines) {
-      headers.push_back(std::string(core::to_string(model)) + "/" +
-                        core::to_string(engine));
+  for (const auto proto : protos) {
+    for (const auto model : models) {
+      for (const auto engine : engines) {
+        headers.push_back(proto_prefix(proto) +
+                          std::string(core::to_string(model)) + "/" +
+                          core::to_string(engine));
+      }
     }
   }
-  for (const auto model : models) {
-    if (model != core::ModelKind::kLstm) continue;
-    for (const auto engine : engines) {
-      headers.push_back(std::string("drops(LSTM/") + core::to_string(engine) +
-                        ")");
+  for (const auto proto : protos) {
+    for (const auto model : models) {
+      if (model != core::ModelKind::kLstm) continue;
+      for (const auto engine : engines) {
+        headers.push_back("drops(" + proto_prefix(proto) + "LSTM/" +
+                          core::to_string(engine) + ")");
+      }
     }
   }
   core::Table table(headers);
@@ -274,15 +338,21 @@ int main() {
   // matrix (its paper figure averages both models' ratios).
   const auto mean_for = [&](core::ModelKind model, core::EngineKind engine,
                             double& out) {
-    for (std::size_t mi = 0; mi < models.size(); ++mi) {
-      for (std::size_t ei = 0; ei < engines.size(); ++ei) {
-        if (models[mi] == model && engines[ei] == engine) {
-          out = agg[mi * engines.size() + ei].mean();
-          return true;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t pi = 0; pi < protos.size(); ++pi) {
+      for (std::size_t mi = 0; mi < models.size(); ++mi) {
+        for (std::size_t ei = 0; ei < engines.size(); ++ei) {
+          if (models[mi] == model && engines[ei] == engine) {
+            sum += agg[(pi * models.size() + mi) * engines.size() + ei].mean();
+            ++n;
+          }
         }
       }
     }
-    return false;
+    if (n == 0) return false;
+    out = sum / static_cast<double>(n);
+    return true;
   };
 
   std::cout << "\nAverages (us):\n";

@@ -13,6 +13,7 @@
 #include "rtad/mcm/mcm.hpp"
 #include "rtad/obs/observer.hpp"
 #include "rtad/sim/simulator.hpp"
+#include "rtad/trace/protocol.hpp"
 #include "rtad/workloads/spec_model.hpp"
 
 namespace rtad::core {
@@ -48,6 +49,11 @@ struct SocConfig {
   ModelKind model = ModelKind::kLstm;
   std::uint64_t seed = 1;
   ClockPlan clocks{};
+  /// Trace packet grammar spoken across the whole frontend (trace source,
+  /// TPIU bytes, TA decoder); overridable per-process with
+  /// RTAD_TRACE_PROTO=pft|etrace. Overrides any protocol set on the ptm /
+  /// igm sub-configs below — the SoC wires one grammar end to end.
+  trace::TraceProtocol trace_proto = trace::default_trace_protocol();
   coresight::PtmConfig ptm{};
   igm::IgmConfig igm{};
   mcm::McmConfig mcm{};

@@ -53,6 +53,7 @@ DetectionSession::DetectionSession(const workloads::SpecProfile& profile,
   cfg.sched = options_.sched;
   cfg.gpu_backend = options_.backend;
   cfg.faults = options_.faults;
+  cfg.trace_proto = options_.proto;
 
   // Observability: the Observer exists only when the run asked for it, so
   // disabled runs never leave the instrumentation's null-pointer fast path.
@@ -262,6 +263,16 @@ void DetectionSession::finalize() {
   if (auto* fi = soc_->fault_injector()) {
     result_.fault_events = fi->total_fires();
   }
+
+  // Trace-frontend accounting. Protocol-independent reads; the metrics
+  // export only serializes them for non-PFT runs, keeping the default
+  // export schema byte-identical.
+  result_.trace_protocol = soc_->config().trace_proto;
+  result_.trace_bytes_generated = soc_->ptm().bytes_generated();
+  result_.trace_events_traced = soc_->ptm().events_traced();
+  result_.decode_bytes_consumed = ta.decoder().bytes_consumed();
+  result_.decode_branches = ta.decoder().branches_decoded();
+  result_.igm_busy_cycles = soc_->igm().busy_cycles();
 
   if (observer_ != nullptr) {
     result_.cycle_accounts = observer_->snapshot_accounts();

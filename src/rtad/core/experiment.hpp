@@ -102,6 +102,17 @@ struct DetectionResult {
   std::uint64_t gpu_exec_wall_ns = 0;
   std::uint64_t gpu_fast_launches = 0;
 
+  // --- trace-frontend accounting (protocol-neutral) ---
+  /// Grammar the run's frontend spoke (RTAD_TRACE_PROTO). Reported in the
+  /// metrics export only for non-default protocols: the PFT export stays
+  /// byte-identical to the pre-protocol-seam schema.
+  trace::TraceProtocol trace_protocol = trace::TraceProtocol::kPft;
+  std::uint64_t trace_bytes_generated = 0;  ///< encoder output bytes
+  std::uint64_t trace_events_traced = 0;    ///< branch events encoded
+  std::uint64_t decode_bytes_consumed = 0;  ///< bytes fed to the TA decoder
+  std::uint64_t decode_branches = 0;        ///< waypoints reconstructed
+  std::uint64_t igm_busy_cycles = 0;        ///< non-quiescent IGM cycles
+
   // --- pipeline health (all zero in fault-free runs) ---
   std::uint64_t trace_bytes_corrupted = 0;  ///< TPIU flips+drops+dups+trunc
   std::uint64_t decode_bad_packets = 0;     ///< malformed PFT packets seen
@@ -145,6 +156,11 @@ struct DetectionOptions {
   /// once per process like SocConfig). nullopt or an all-zero plan leaves
   /// every result field byte-identical to a fault-free build.
   std::optional<fault::FaultPlan> faults = fault::default_plan();
+  /// Trace packet grammar for the run's frontend (defaults to
+  /// RTAD_TRACE_PROTO, resolved once per process). Both protocols carry
+  /// the identical branch-event stream; only bytes-on-the-wire and decode
+  /// cost differ.
+  trace::TraceProtocol proto = trace::default_trace_protocol();
 
   // --- observability (all off by default; the run is byte-identical with
   // the layer disabled) ---

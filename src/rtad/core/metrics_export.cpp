@@ -4,6 +4,7 @@
 #include <string>
 
 #include "rtad/obs/json.hpp"
+#include "rtad/trace/protocol.hpp"
 
 namespace rtad::core {
 
@@ -59,6 +60,22 @@ void write_metrics_json(
   w.field("irqs_lost", result.irqs_lost);
   w.field("fault_events", result.fault_events);
   w.end_object();
+
+  // Trace-frontend decode health. Emitted only for non-default protocols:
+  // the PFT export keeps the exact pre-protocol-seam schema (the CI
+  // byte-identity gate compares these files verbatim), same precedent as
+  // the mode-dependent sim.skipped* exclusion above.
+  if (result.trace_protocol != trace::TraceProtocol::kPft) {
+    w.key("trace");
+    w.begin_object();
+    w.field("protocol", trace::to_string(result.trace_protocol));
+    w.field("bytes_generated", result.trace_bytes_generated);
+    w.field("events_traced", result.trace_events_traced);
+    w.field("decode_bytes_consumed", result.decode_bytes_consumed);
+    w.field("decode_branches", result.decode_branches);
+    w.field("igm_busy_cycles", result.igm_busy_cycles);
+    w.end_object();
+  }
 
   // Elapsed cycles per clock domain (skip replay included, so these match
   // floor(simulated_ps / period) regardless of scheduler mode).

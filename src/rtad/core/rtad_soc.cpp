@@ -80,6 +80,7 @@ RtadSoc::RtadSoc(SocConfig config, const ml::ModelImage* image,
   // --- CoreSight ---
   coresight::PtmConfig ptm_cfg = config_.ptm;
   ptm_cfg.enabled = cpu::uses_ptm(config_.mode);
+  ptm_cfg.protocol = config_.trace_proto;
   ptm_ = std::make_unique<coresight::Ptm>(ptm_cfg);
   tpiu_ = std::make_unique<coresight::Tpiu>(ptm_->tx_fifo());
   tpiu_->set_fault_injector(fault_injector_.get());
@@ -93,6 +94,7 @@ RtadSoc::RtadSoc(SocConfig config, const ml::ModelImage* image,
   // --- MLPU ---
   igm::IgmConfig igm_cfg = config_.igm;
   igm_cfg.clock_period_ps = fabric_clk.period_ps();
+  igm_cfg.protocol = config_.trace_proto;
   if (config_.model == ModelKind::kElm) {
     igm_cfg.encoder.encoding = igm::Encoding::kSlidingHistogram;
     igm_cfg.encoder.hash_fallback = true;

@@ -43,6 +43,8 @@ class RtadSoc {
   // --- module access ---
   sim::Simulator& simulator() noexcept { return sim_; }
   cpu::HostCpu& host_cpu() noexcept { return *cpu_; }
+  coresight::TraceSource& trace_source() noexcept { return *ptm_; }
+  /// Back-compat spelling from when the trace source was always a PFT PTM.
   coresight::Ptm& ptm() noexcept { return *ptm_; }
   coresight::Tpiu& tpiu() noexcept { return *tpiu_; }
   igm::Igm& igm() noexcept { return *igm_; }

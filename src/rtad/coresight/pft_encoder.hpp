@@ -1,45 +1,13 @@
-// PFT trace encoder — the compression logic inside the PTM.
+// Back-compat spelling: the PFT encoder moved to the protocol layer
+// (rtad/trace/pft.hpp) as one of the TraceEncoder implementations.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
 #include "rtad/coresight/pft_packet.hpp"
-#include "rtad/cpu/branch_event.hpp"
+#include "rtad/trace/pft.hpp"
 
 namespace rtad::coresight {
 
-/// Stateful packetizer: compresses a stream of retired branch events into
-/// PFT bytes. Holds the "last emitted address" register used for
-/// branch-address compression and a pending-atom accumulator.
-class PftEncoder {
- public:
-  /// Encode one branch event, appending packet bytes to `out`.
-  /// Conditional branches accumulate into atom packets (flushed when four
-  /// outcomes are pending or when an address packet must be emitted, so
-  /// stream order always matches program order).
-  void encode(const cpu::BranchEvent& event, std::vector<std::uint8_t>& out);
-
-  /// Flush any buffered atom outcomes as a (possibly short) atom packet.
-  void flush_atoms(std::vector<std::uint8_t>& out);
-
-  /// Emit A-sync + I-sync (+ CONTEXTID) — the periodic resync preamble.
-  void emit_sync(std::uint64_t current_addr, std::uint8_t context_id,
-                 std::vector<std::uint8_t>& out);
-
-  void reset();
-
-  /// Number of address bytes a branch to `target` would need right now
-  /// (diagnostic; used by compression tests).
-  int address_bytes_needed(std::uint64_t target) const;
-
- private:
-  void emit_branch_address(std::uint64_t target, BranchExceptionInfo info,
-                           std::vector<std::uint8_t>& out);
-
-  std::uint64_t last_address_ = 0;
-  std::uint8_t pending_atoms_ = 0;  ///< LSB-first outcomes
-  int pending_atom_count_ = 0;
-};
+using trace::PftEncoder;
+using TraceByte = trace::TraceByte;
 
 }  // namespace rtad::coresight

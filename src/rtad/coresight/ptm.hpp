@@ -1,95 +1,13 @@
-// CoreSight PTM model (Program Trace Macrocell inside the Cortex-A9).
-//
-// Receives retired branch events from the core, compresses them with the
-// PftEncoder, and buffers the bytes in the on-chip trace FIFO. Matching the
-// behaviour the paper measures in Fig. 7 ("PTM does not send the packets
-// until enough packets are buffered in the FIFO inside the ARM CPU"), the
-// FIFO drains to the TPIU only once a fill threshold is reached — and then
-// keeps draining until empty — or when a periodic drain timeout expires so
-// a quiet program still makes progress.
+// Back-compat spelling of the trace source. The PTM model became the
+// protocol-neutral coresight::TraceSource (trace_source.hpp); existing
+// PFT-era call sites keep compiling through these aliases.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "rtad/coresight/pft_encoder.hpp"
-#include "rtad/cpu/branch_event.hpp"
-#include "rtad/obs/observer.hpp"
-#include "rtad/sim/component.hpp"
-#include "rtad/sim/fifo.hpp"
-#include "rtad/sim/time.hpp"
+#include "rtad/coresight/trace_source.hpp"
 
 namespace rtad::coresight {
 
-/// One trace byte annotated with simulation sidebands: the retirement time
-/// and sequence number of the *latest* branch event whose encoding this byte
-/// completes. The sidebands never influence functional behaviour; they exist
-/// so experiments can measure end-to-end latency per event (Fig. 7/8).
-struct TraceByte {
-  std::uint8_t value = 0;
-  sim::Picoseconds origin_ps = 0;
-  std::uint64_t event_seq = 0;
-  bool injected = false;
-};
-
-struct PtmConfig {
-  std::size_t fifo_bytes = 256;        ///< on-chip trace FIFO capacity
-  /// Drain starts at this fill level: the formatter waits for a quarter
-  /// FIFO before bursting packets out, which is the dominant term of the
-  /// RTAD transfer path in Fig. 7 ("PTM does not send the packets until
-  /// enough packets are buffered in the FIFO inside the ARM CPU").
-  std::size_t flush_threshold = 64;
-  std::uint32_t drain_timeout_cycles = 512;  ///< periodic drain (CPU cycles)
-  std::uint32_t drain_width = 4;       ///< bytes handed to TPIU per cycle
-  std::size_t sync_interval_bytes = 4096;  ///< A-sync/I-sync cadence
-  bool enabled = true;
-};
-
-class Ptm final : public sim::Component {
- public:
-  explicit Ptm(PtmConfig config);
-
-  /// Called by the CPU model at retirement (same cycle, before PTM's tick).
-  void submit(const cpu::BranchEvent& event);
-
-  /// Drain side: the TPIU pulls from this FIFO.
-  sim::Fifo<TraceByte>& tx_fifo() noexcept { return tx_fifo_; }
-
-  void tick() override;
-  void reset() override;
-  sim::WakeHint next_wake() const override;
-  void on_cycles_skipped(sim::Cycle n) override;
-
-  const PtmConfig& config() const noexcept { return config_; }
-  void set_enabled(bool on) noexcept { config_.enabled = on; }
-
-  /// Register the cycle account and a span track for drain bursts.
-  void set_observability(obs::Observer& ob, const std::string& domain);
-
-  std::uint64_t bytes_generated() const noexcept { return bytes_generated_; }
-  std::uint64_t events_traced() const noexcept { return events_traced_; }
-  std::uint64_t fifo_drops() const noexcept { return trace_fifo_.overflows(); }
-
- private:
-  void enqueue_bytes(const std::vector<std::uint8_t>& bytes,
-                     const cpu::BranchEvent& event);
-
-  PtmConfig config_;
-  PftEncoder encoder_;
-  sim::Fifo<TraceByte> trace_fifo_;  ///< on-chip buffering (threshold applies)
-  sim::Fifo<TraceByte> tx_fifo_;     ///< handoff to TPIU
-  std::vector<std::uint8_t> scratch_;
-
-  obs::CycleAccount* acct_ = nullptr;
-  obs::TraceHandle drain_trace_;
-
-  bool draining_ = false;
-  bool sent_initial_sync_ = false;
-  std::uint32_t cycles_since_drain_ = 0;
-  std::size_t bytes_since_sync_ = 0;
-  std::uint64_t bytes_generated_ = 0;
-  std::uint64_t events_traced_ = 0;
-};
+using Ptm = TraceSource;
+using PtmConfig = TraceSourceConfig;
 
 }  // namespace rtad::coresight

@@ -6,7 +6,7 @@ using fault::FaultSite;
 
 Tpiu::Tpiu(sim::Fifo<TraceByte>& source, std::size_t port_fifo_words)
     : sim::Component("tpiu"), source_(source), port_(port_fifo_words) {
-  // PTM (CPU domain) -> TPIU (fabric domain) crossing: wake on push.
+  // TraceSource (CPU domain) -> TPIU (fabric domain) crossing: wake on push.
   source_.set_wake_hook([this] { request_wake(); });
 }
 

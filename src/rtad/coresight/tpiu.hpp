@@ -1,17 +1,19 @@
 // CoreSight TPIU model (Trace Port Interface Unit).
 //
-// In the RTAD prototype the TPIU's trace-port pins are routed on-chip to the
-// MLPU instead of off-chip (§III-A / Fig. 1). The TPIU formats the PTM byte
-// stream into 32-bit words — the width of the IGM input port — emitting up
-// to one word (4 trace bytes) per 125 MHz fabric cycle.
+// In the RTAD prototype the TPIU's trace-port pins are routed on-chip to
+// the MLPU instead of off-chip (§III-A / Fig. 1). The TPIU formats the
+// trace source's byte stream into 32-bit words — the width of the IGM
+// input port — emitting up to one word (4 trace bytes) per 125 MHz fabric
+// cycle. The transport is protocol-agnostic: bytes are opaque here,
+// whatever the TraceProtocol that produced them.
 //
 // The trace port is also the pipeline's fault surface: when a FaultInjector
 // is attached, each byte crossing the port may be bit-flipped, dropped,
 // duplicated or swallowed by a truncation window (FaultSite::kTrace*). The
-// damage is applied per byte *popped from the PTM FIFO*, so the corruption
-// sequence is a pure function of the byte stream — identical under both
-// scheduler kernels and any worker count. With no injector attached the
-// tick path is byte-for-byte the original.
+// damage is applied per byte *popped from the trace-source FIFO*, so the
+// corruption sequence is a pure function of the byte stream — identical
+// under both scheduler kernels and any worker count. With no injector
+// attached the tick path is byte-for-byte the original.
 #pragma once
 
 #include <array>
@@ -19,7 +21,7 @@
 
 #include <string>
 
-#include "rtad/coresight/ptm.hpp"
+#include "rtad/coresight/trace_source.hpp"
 #include "rtad/fault/fault_injector.hpp"
 #include "rtad/obs/observer.hpp"
 #include "rtad/sim/component.hpp"
@@ -44,8 +46,8 @@ struct TpiuWord {
 
 class Tpiu final : public sim::Component {
  public:
-  /// `source` is the PTM's tx FIFO; `port_fifo_words` sizes the output FIFO
-  /// feeding the IGM trace port.
+  /// `source` is the trace source's tx FIFO; `port_fifo_words` sizes the
+  /// output FIFO feeding the IGM trace port.
   explicit Tpiu(sim::Fifo<TraceByte>& source, std::size_t port_fifo_words = 64);
 
   sim::Fifo<TpiuWord>& port() noexcept { return port_; }
@@ -78,9 +80,9 @@ class Tpiu final : public sim::Component {
   }
 
   /// Blocked while there is nothing to format (or nowhere to put it); the
-  /// PTM tx FIFO's wake hook un-blocks the fabric domain on the first byte
-  /// crossing over from the CPU domain. A pending duplicated byte counts
-  /// as work even if the source drained.
+  /// trace source's tx-FIFO wake hook un-blocks the fabric domain on the
+  /// first byte crossing over from the CPU domain. A pending duplicated
+  /// byte counts as work even if the source drained.
   sim::WakeHint next_wake() const override {
     return ((source_.empty() && !dup_pending_) || port_.full())
                ? sim::WakeHint::blocked()

@@ -1,15 +1,16 @@
-#include "rtad/coresight/ptm.hpp"
+#include "rtad/coresight/trace_source.hpp"
 
 namespace rtad::coresight {
 
-Ptm::Ptm(PtmConfig config)
-    : sim::Component("ptm"),
+TraceSource::TraceSource(TraceSourceConfig config)
+    : sim::Component("ptm"),  // stable name: feeds cycle-account/metrics keys
       config_(config),
+      encoder_(trace::make_encoder(config.protocol)),
       trace_fifo_(config.fifo_bytes),
       tx_fifo_(config.fifo_bytes) {}
 
-void Ptm::reset() {
-  encoder_.reset();
+void TraceSource::reset() {
+  encoder_->reset();
   trace_fifo_.clear();
   tx_fifo_.clear();
   draining_ = false;
@@ -20,8 +21,8 @@ void Ptm::reset() {
   events_traced_ = 0;
 }
 
-void Ptm::enqueue_bytes(const std::vector<std::uint8_t>& bytes,
-                        const cpu::BranchEvent& event) {
+void TraceSource::enqueue_bytes(const std::vector<std::uint8_t>& bytes,
+                                const cpu::BranchEvent& event) {
   for (std::uint8_t b : bytes) {
     trace_fifo_.try_push(
         TraceByte{b, event.retired_ps, event.seq, event.injected});
@@ -30,26 +31,27 @@ void Ptm::enqueue_bytes(const std::vector<std::uint8_t>& bytes,
   bytes_since_sync_ += bytes.size();
 }
 
-void Ptm::submit(const cpu::BranchEvent& event) {
+void TraceSource::submit(const cpu::BranchEvent& event) {
   if (!config_.enabled) return;
   ++events_traced_;
   scratch_.clear();
   if (!sent_initial_sync_ || bytes_since_sync_ >= config_.sync_interval_bytes) {
-    encoder_.emit_sync(event.source, event.context_id, scratch_);
+    encoder_->emit_sync(event.source, event.context_id, scratch_);
     bytes_since_sync_ = 0;
     sent_initial_sync_ = true;
   }
-  encoder_.encode(event, scratch_);
+  encoder_->encode(event, scratch_);
   enqueue_bytes(scratch_, event);
 }
 
-void Ptm::set_observability(obs::Observer& ob, const std::string& domain) {
+void TraceSource::set_observability(obs::Observer& ob,
+                                    const std::string& domain) {
   acct_ = ob.account(name(), domain);
   if (ob.sink() != nullptr)
     drain_trace_ = obs::TraceHandle(ob.sink(), ob.sink()->track("ptm.drain"));
 }
 
-void Ptm::tick() {
+void TraceSource::tick() {
   if (!config_.enabled) {
     obs::bump(acct_, obs::CycleBucket::kIdle);
     return;
@@ -82,8 +84,8 @@ void Ptm::tick() {
   }
 }
 
-sim::WakeHint Ptm::next_wake() const {
-  // Disabled PTM ticks return immediately and touch nothing.
+sim::WakeHint TraceSource::next_wake() const {
+  // A disabled source ticks return immediately and touch nothing.
   if (!config_.enabled) return sim::WakeHint::blocked();
   if (draining_) return sim::WakeHint::active();
   if (trace_fifo_.size() >= config_.flush_threshold) {
@@ -104,7 +106,7 @@ sim::WakeHint Ptm::next_wake() const {
   return sim::WakeHint::idle_for(to_timeout - 1);
 }
 
-void Ptm::on_cycles_skipped(sim::Cycle n) {
+void TraceSource::on_cycles_skipped(sim::Cycle n) {
   // Replays `n` ticks in any skippable state: all of them only increment
   // the timeout counter (uint32 wrap matches n consecutive ++'s). Every
   // skippable tick is an idle one (disabled, empty, or timeout countdown),

@@ -4,8 +4,12 @@
 
 namespace rtad::cpu {
 
-HostCpu::HostCpu(HostCpuConfig config, StepSource& source, coresight::Ptm* ptm)
-    : sim::Component("host_cpu"), config_(config), source_(source), ptm_(ptm) {}
+HostCpu::HostCpu(HostCpuConfig config, StepSource& source,
+                 coresight::TraceSource* trace)
+    : sim::Component("host_cpu"),
+      config_(config),
+      source_(source),
+      trace_(trace) {}
 
 void HostCpu::reset() {
   gap_remaining_ = 0;
@@ -107,7 +111,7 @@ void HostCpu::tick() {
   ev.retired_ps = local_time_ps();
   ev.seq = next_seq_++;
   ev.context_id = config_.context_id;
-  if (ptm_ != nullptr && uses_ptm(config_.mode)) ptm_->submit(ev);
+  if (trace_ != nullptr && uses_hw_trace(config_.mode)) trace_->submit(ev);
 
   // Charge the collection mechanism for this event.
   overhead_accumulator_ +=

@@ -14,7 +14,7 @@
 #include <optional>
 #include <string>
 
-#include "rtad/coresight/ptm.hpp"
+#include "rtad/coresight/trace_source.hpp"
 #include "rtad/obs/observer.hpp"
 #include "rtad/cpu/branch_event.hpp"
 #include "rtad/cpu/instrumentation.hpp"
@@ -51,8 +51,9 @@ struct HostCpuConfig {
 
 class HostCpu final : public sim::Component {
  public:
-  /// `ptm` may be null for Baseline / pure-software runs.
-  HostCpu(HostCpuConfig config, StepSource& source, coresight::Ptm* ptm);
+  /// `trace` may be null for Baseline / pure-software runs.
+  HostCpu(HostCpuConfig config, StepSource& source,
+          coresight::TraceSource* trace);
 
   void tick() override;
   void reset() override;
@@ -107,7 +108,7 @@ class HostCpu final : public sim::Component {
 
   HostCpuConfig config_;
   StepSource& source_;
-  coresight::Ptm* ptm_;
+  coresight::TraceSource* trace_;
   obs::CycleAccount* acct_ = nullptr;
   obs::TraceHandle irq_trace_;
 

@@ -45,10 +45,15 @@ struct InstrumentationCosts {
 double instrumentation_cost(InstrumentationMode mode, BranchKind kind,
                             const InstrumentationCosts& costs) noexcept;
 
-/// Whether the PTM should be enabled under `mode` (only the hardware path
-/// uses it; software mechanisms write their own buffers).
-constexpr bool uses_ptm(InstrumentationMode mode) noexcept {
+/// Whether the hardware trace source should be enabled under `mode` (only
+/// the hardware path uses it; software mechanisms write their own buffers).
+constexpr bool uses_hw_trace(InstrumentationMode mode) noexcept {
   return mode == InstrumentationMode::kRtad;
+}
+
+/// Back-compat spelling from when the only trace source was the PFT PTM.
+constexpr bool uses_ptm(InstrumentationMode mode) noexcept {
+  return uses_hw_trace(mode);
 }
 
 }  // namespace rtad::cpu

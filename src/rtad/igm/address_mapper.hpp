@@ -7,13 +7,22 @@
 // (hardware CAM) and address ranges (base/mask registers), because syscall
 // filtering is naturally a range over the kernel entry area while critical
 // API filtering is a set of exact entry points.
+//
+// The mapper consumes protocol-neutral DecodedBranch records. Its lookup
+// keys are full 64-bit values, but the widths actually reachable depend on
+// the trace protocol upstream: trace::traits(proto).address_bits bounds the
+// decoded address (32 for both PFT and E-Trace today) and
+// .address_alignment gives the instruction-size granularity (bit 0 of a
+// branch target is never traced by either grammar). Tables built for one
+// protocol therefore carry over to the other as long as both constraints
+// match — assert on traits() rather than assuming PFT if that ever changes.
 #pragma once
 
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
 
-#include "rtad/igm/pft_decoder.hpp"
+#include "rtad/igm/branch.hpp"
 
 namespace rtad::igm {
 

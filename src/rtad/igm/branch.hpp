@@ -1,0 +1,13 @@
+// The branch type flowing through the IGM pipeline stages (TA -> P2S ->
+// IVG). Protocol-neutral: every trace frontend's decoder produces the same
+// trace::DecodedBranch, so no IGM stage past the TA depends on a packet
+// grammar.
+#pragma once
+
+#include "rtad/trace/stream.hpp"
+
+namespace rtad::igm {
+
+using DecodedBranch = trace::DecodedBranch;
+
+}  // namespace rtad::igm

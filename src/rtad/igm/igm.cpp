@@ -5,7 +5,8 @@ namespace rtad::igm {
 Igm::Igm(IgmConfig config, sim::Fifo<coresight::TpiuWord>& tpiu_port)
     : sim::Component("igm"),
       config_(config),
-      ta_(tpiu_port, config.ta_width, 16, config.ta_overflow),
+      ta_(tpiu_port, config.ta_width, 16, config.ta_overflow,
+          config.protocol),
       p2s_(ta_.out()),
       encoder_(config.encoder),
       out_(config.out_capacity) {}
@@ -17,6 +18,7 @@ void Igm::reset() {
   out_.clear();
   vectors_out_ = 0;
   cycles_ = 0;
+  busy_cycles_ = 0;
 }
 
 void Igm::set_observability(obs::Observer& ob, const std::string& domain) {
@@ -37,8 +39,11 @@ void Igm::tick() {
   // event modes agree): quiescent pipelines are idle, an IVG held up by a
   // full vector FIFO toward the MCM is a downstream-FIFO stall, anything
   // else is real pipeline work.
+  const bool start_quiescent =
+      ta_.quiescent() && ta_.out().empty() && p2s_.out().empty();
+  if (!start_quiescent) ++busy_cycles_;
   if (acct_ != nullptr) {
-    if (ta_.quiescent() && ta_.out().empty() && p2s_.out().empty())
+    if (start_quiescent)
       ++acct_->idle;
     else if (!p2s_.out().empty() && out_.full())
       ++acct_->stall_fifo;

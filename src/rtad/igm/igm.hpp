@@ -33,6 +33,8 @@ struct IgmConfig {
   OverflowPolicy ta_overflow = OverflowPolicy::kStall;
   VectorEncoderConfig encoder{};
   sim::Picoseconds clock_period_ps = 8'000;  ///< 125 MHz fabric
+  /// Packet grammar the TA decodes; must match the trace source upstream.
+  trace::TraceProtocol protocol = trace::TraceProtocol::kPft;
 };
 
 class Igm final : public sim::Component {
@@ -73,6 +75,11 @@ class Igm final : public sim::Component {
 
   std::uint64_t vectors_out() const noexcept { return vectors_out_; }
   std::uint64_t drops_at_output() const noexcept { return out_.overflows(); }
+  /// Non-quiescent fabric cycles — the decode-side cost of the trace
+  /// protocol in cycles. Counted from start-of-tick state (a pure function
+  /// of it), so dense and event scheduling agree; skipped ticks were all
+  /// quiescent and contribute nothing.
+  std::uint64_t busy_cycles() const noexcept { return busy_cycles_; }
   sim::Picoseconds local_time_ps() const noexcept {
     return cycles_ * config_.clock_period_ps;
   }
@@ -96,6 +103,7 @@ class Igm final : public sim::Component {
   bool traced_active_ = false;  ///< an "active" span is currently open
   std::uint64_t vectors_out_ = 0;
   std::uint64_t cycles_ = 0;
+  std::uint64_t busy_cycles_ = 0;
   std::function<void(const InputVector&, sim::Picoseconds)> emit_observer_;
 };
 

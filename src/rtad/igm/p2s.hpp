@@ -5,7 +5,7 @@
 // buffers the burst and serializes it (§III-A).
 #pragma once
 
-#include "rtad/igm/pft_decoder.hpp"
+#include "rtad/igm/branch.hpp"
 #include "rtad/sim/component.hpp"
 #include "rtad/sim/fifo.hpp"
 

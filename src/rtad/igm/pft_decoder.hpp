@@ -1,85 +1,13 @@
-// Byte-sequential PFT stream decoder — the logic inside one chain of TA
-// units. Mirrors coresight::PftEncoder (see pft_packet.hpp for the grammar).
+// Back-compat spelling: the PFT stream decoder moved to the protocol layer
+// (rtad/trace/pft.hpp) as one of the TraceDecoder implementations, and
+// DecodedBranch became the protocol-neutral trace::DecodedBranch.
 #pragma once
 
-#include <cstdint>
-#include <optional>
-#include <vector>
-
-#include "rtad/coresight/pft_packet.hpp"
-#include "rtad/coresight/ptm.hpp"
-#include "rtad/sim/time.hpp"
+#include "rtad/igm/branch.hpp"
+#include "rtad/trace/pft.hpp"
 
 namespace rtad::igm {
 
-/// A branch target address recovered from the trace stream, with the
-/// simulation sidebands of the byte that completed its packet.
-struct DecodedBranch {
-  std::uint64_t address = 0;
-  bool is_syscall = false;
-  sim::Picoseconds origin_ps = 0;
-  std::uint64_t event_seq = 0;
-  bool injected = false;
-};
-
-/// Packet-level state machine; consumes one byte per call. Starts
-/// unsynchronized and discards bytes until the first A-sync/I-sync pair.
-///
-/// Degradation contract: a malformed stream (corrupted, truncated or
-/// reordered bytes) never throws and never wedges the decoder. Grammar
-/// violations are counted in `bad_packets()` and answered with resync():
-/// the decoder drops back to the A-sync hunt and recovers at the PTM's next
-/// periodic sync preamble, counting the loss of lock in `resyncs()`.
-class PftStreamDecoder {
- public:
-  /// Feed one byte; returns a decoded branch when this byte completes a
-  /// branch-address packet (atoms, syncs and context packets return nullopt).
-  std::optional<DecodedBranch> feed(const coresight::TraceByte& byte);
-
-  void reset();
-
-  /// Abandon the current packet and hunt for the next A-sync run. Counted
-  /// in resyncs(). Also invoked internally on every detected grammar
-  /// violation — a clean stream never triggers it.
-  void resync() noexcept;
-
-  bool synced() const noexcept { return synced_; }
-  std::uint64_t last_address() const noexcept { return last_address_; }
-  std::uint8_t context_id() const noexcept { return context_id_; }
-  std::uint64_t atoms_decoded() const noexcept { return atoms_decoded_; }
-  std::uint64_t branches_decoded() const noexcept { return branches_decoded_; }
-  std::uint64_t bytes_consumed() const noexcept { return bytes_consumed_; }
-  /// Grammar violations observed (each one also forces a resync).
-  std::uint64_t bad_packets() const noexcept { return bad_packets_; }
-  /// Times the decoder dropped to the A-sync hunt after its first sync.
-  std::uint64_t resyncs() const noexcept { return resyncs_; }
-
- private:
-  enum class State {
-    kUnsynced,       ///< hunting for the A-sync run
-    kIdle,           ///< expecting a packet header
-    kAsyncRun,       ///< inside a run of 0x00 bytes
-    kIsyncPayload,   ///< collecting 5 I-sync payload bytes
-    kContextPayload, ///< collecting 1 CONTEXTID byte
-    kBranchPayload,  ///< collecting continuation bytes of a branch packet
-  };
-
-  std::optional<DecodedBranch> finish_branch(const coresight::TraceByte& byte);
-
-  State state_ = State::kUnsynced;
-  int zeros_seen_ = 0;
-  int payload_needed_ = 0;
-  std::vector<std::uint8_t> payload_;
-
-  std::uint64_t last_address_ = 0;
-  std::uint8_t context_id_ = 0;
-  bool synced_ = false;
-
-  std::uint64_t atoms_decoded_ = 0;
-  std::uint64_t branches_decoded_ = 0;
-  std::uint64_t bytes_consumed_ = 0;
-  std::uint64_t bad_packets_ = 0;
-  std::uint64_t resyncs_ = 0;
-};
+using trace::PftStreamDecoder;
 
 }  // namespace rtad::igm

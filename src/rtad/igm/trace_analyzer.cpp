@@ -6,9 +6,11 @@ namespace rtad::igm {
 
 TraceAnalyzer::TraceAnalyzer(sim::Fifo<coresight::TpiuWord>& port,
                              std::uint32_t width, std::size_t out_capacity,
-                             OverflowPolicy overflow)
+                             OverflowPolicy overflow,
+                             trace::TraceProtocol proto)
     : sim::Component("trace_analyzer"),
       port_(port),
+      decoder_(trace::make_decoder(proto)),
       out_(out_capacity),
       width_(width),
       overflow_(overflow) {
@@ -18,7 +20,7 @@ TraceAnalyzer::TraceAnalyzer(sim::Fifo<coresight::TpiuWord>& port,
 }
 
 void TraceAnalyzer::reset() {
-  decoder_.reset();
+  decoder_->reset();
   out_.clear();
   has_pending_ = false;
   pending_pos_ = 0;
@@ -44,7 +46,7 @@ void TraceAnalyzer::tick() {
         break;
       }
       const auto& tb = pending_.bytes[pending_pos_];
-      if (auto decoded = decoder_.feed(tb)) {
+      if (auto decoded = decoder_->feed(tb)) {
         // Under kDropResync a full output discards the branch instead of
         // stalling the byte stream — losing one sample beats backing the
         // trace port up into word drops.

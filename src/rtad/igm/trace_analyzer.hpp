@@ -6,14 +6,22 @@
 // combinational ripple chain within a cycle: up to `width` bytes decoded per
 // 125 MHz cycle, producing up to `width` addresses in the worst case — which
 // is why the P2S converter follows (§III-A).
+//
+// The packet grammar itself lives behind trace::TraceDecoder: the TA owns
+// byte-lane pacing, backpressure, and residual-word state, while the decoder
+// selected by TraceProtocol owns the state machine that turns bytes into
+// DecodedBranch records.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "rtad/coresight/tpiu.hpp"
-#include "rtad/igm/pft_decoder.hpp"
+#include "rtad/igm/branch.hpp"
 #include "rtad/sim/component.hpp"
 #include "rtad/sim/fifo.hpp"
+#include "rtad/trace/decoder.hpp"
+#include "rtad/trace/protocol.hpp"
 
 namespace rtad::igm {
 
@@ -28,7 +36,8 @@ class TraceAnalyzer final : public sim::Component {
   /// `width` = number of TA units (bytes decoded per cycle), 1..4.
   TraceAnalyzer(sim::Fifo<coresight::TpiuWord>& port, std::uint32_t width = 4,
                 std::size_t out_capacity = 16,
-                OverflowPolicy overflow = OverflowPolicy::kStall);
+                OverflowPolicy overflow = OverflowPolicy::kStall,
+                trace::TraceProtocol proto = trace::TraceProtocol::kPft);
 
   sim::Fifo<DecodedBranch>& out() noexcept { return out_; }
   const sim::Fifo<DecodedBranch>& out() const noexcept { return out_; }
@@ -47,14 +56,17 @@ class TraceAnalyzer final : public sim::Component {
 
   std::uint32_t width() const noexcept { return width_; }
   OverflowPolicy overflow_policy() const noexcept { return overflow_; }
-  const PftStreamDecoder& decoder() const noexcept { return decoder_; }
+  trace::TraceProtocol protocol() const noexcept {
+    return decoder_->protocol();
+  }
+  const trace::TraceDecoder& decoder() const noexcept { return *decoder_; }
   std::uint64_t stall_cycles() const noexcept { return stall_cycles_; }
   /// Branches decoded but discarded on a full output under kDropResync.
   std::uint64_t dropped_branches() const noexcept { return dropped_branches_; }
 
  private:
   sim::Fifo<coresight::TpiuWord>& port_;
-  PftStreamDecoder decoder_;
+  std::unique_ptr<trace::TraceDecoder> decoder_;
   sim::Fifo<DecodedBranch> out_;
   std::uint32_t width_;
   OverflowPolicy overflow_;

@@ -16,7 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "rtad/igm/pft_decoder.hpp"
+#include "rtad/igm/branch.hpp"
 #include "rtad/sim/time.hpp"
 
 namespace rtad::igm {

@@ -10,6 +10,18 @@
 
 namespace rtad::serve {
 
+const char* fleet_protocol_name(FleetProtocol proto) noexcept {
+  switch (proto) {
+    case FleetProtocol::kPft:
+      return "pft";
+    case FleetProtocol::kEtrace:
+      return "etrace";
+    case FleetProtocol::kMixed:
+      return "mixed";
+  }
+  return "pft";
+}
+
 ServiceConfig ServiceConfig::from_env() {
   ServiceConfig cfg;
   cfg.shards = core::env::positive_or("RTAD_SERVE_SHARDS", cfg.shards);
@@ -22,6 +34,16 @@ ServiceConfig ServiceConfig::from_env() {
                    : OverloadPolicy::kDegrade;
   cfg.quantum_ps =
       core::env::positive_or("RTAD_SERVE_QUANTUM_US", 2'000) * sim::kPsPerUs;
+  const std::string proto = core::env::choice_or(
+      "RTAD_SERVE_PROTO", {"pft", "etrace", "mixed"},
+      fleet_protocol_name(cfg.proto));
+  if (proto == "pft") {
+    cfg.proto = FleetProtocol::kPft;
+  } else if (proto == "etrace") {
+    cfg.proto = FleetProtocol::kEtrace;
+  } else {
+    cfg.proto = FleetProtocol::kMixed;
+  }
   return cfg;
 }
 
@@ -38,6 +60,17 @@ Service::Service(ServiceConfig cfg,
 ServiceReport Service::run(std::vector<SessionRequest> requests) {
   for (std::size_t i = 0; i < requests.size(); ++i) {
     requests[i].ticket = i;
+    switch (cfg_.proto) {
+      case FleetProtocol::kPft:
+        requests[i].proto = trace::TraceProtocol::kPft;
+        break;
+      case FleetProtocol::kEtrace:
+        requests[i].proto = trace::TraceProtocol::kEtrace;
+        break;
+      case FleetProtocol::kMixed:
+        requests[i].proto = tenant_protocol(requests[i].tenant);
+        break;
+    }
   }
 
   ShardConfig scfg;
@@ -75,6 +108,8 @@ ServiceReport Service::run(std::vector<SessionRequest> requests) {
     rep.sessions_degraded += st.degraded;
     rep.degraded_inferences += st.degraded_inferences;
     rep.sessions_completed += st.completed;
+    rep.sessions_pft += st.completed_pft;
+    rep.sessions_etrace += st.completed_etrace;
     rep.queue_depth.merge(st.queue_depth);
     rep.queue_high_watermark =
         std::max(rep.queue_high_watermark, st.queue_high_watermark);
@@ -143,6 +178,7 @@ void write_serve_report(obs::JsonWriter& json, const ServiceConfig& cfg,
              static_cast<std::uint64_t>(cfg.queue_capacity));
   json.field("policy", overload_policy_name(cfg.policy));
   json.field("quantum_us", sim::to_us(cfg.quantum_ps));
+  json.field("proto", fleet_protocol_name(cfg.proto));
   json.end_object();
   json.key("fleet").begin_object();
   json.field("serve.sessions_offered", report.sessions_offered);
@@ -151,6 +187,8 @@ void write_serve_report(obs::JsonWriter& json, const ServiceConfig& cfg,
   json.field("serve.sessions_degraded", report.sessions_degraded);
   json.field("serve.degraded_inferences", report.degraded_inferences);
   json.field("serve.sessions_completed", report.sessions_completed);
+  json.field("serve.sessions_pft", report.sessions_pft);
+  json.field("serve.sessions_etrace", report.sessions_etrace);
   json.end_object();
   json.key("ingress_depth").begin_object();
   json.field("samples",

@@ -15,6 +15,8 @@
 //   RTAD_SERVE_QUEUE       ingress queue capacity          (default 8)
 //   RTAD_SERVE_POLICY      overload policy: shed|degrade   (default shed)
 //   RTAD_SERVE_QUANTUM_US  advance() slice, simulated us   (default 2000)
+//   RTAD_SERVE_PROTO       fleet trace protocol: pft|etrace|mixed
+//                          (default: the process RTAD_TRACE_PROTO)
 #pragma once
 
 #include <cstddef>
@@ -32,12 +34,28 @@ class JsonWriter;
 
 namespace rtad::serve {
 
+/// How the fleet assigns trace protocols to tenants.
+enum class FleetProtocol : std::uint8_t {
+  kPft,     ///< every tenant's frontend speaks PFT
+  kEtrace,  ///< every tenant's frontend speaks E-Trace
+  kMixed,   ///< per-tenant: a stable tenant-hash bit picks the protocol
+};
+
+const char* fleet_protocol_name(FleetProtocol proto) noexcept;
+
 struct ServiceConfig {
   std::size_t shards = 2;
   std::size_t lanes = 2;  ///< per shard
   std::size_t queue_capacity = 8;
   OverloadPolicy policy = OverloadPolicy::kShed;
   sim::Picoseconds quantum_ps = 2 * sim::kPsPerMs;
+  /// Fleet-wide trace-protocol assignment, applied to every request before
+  /// routing. Defaults to the process protocol so a plain service follows
+  /// RTAD_TRACE_PROTO; kMixed simulates a heterogeneous host fleet.
+  FleetProtocol proto = trace::default_trace_protocol() ==
+                                trace::TraceProtocol::kEtrace
+                            ? FleetProtocol::kEtrace
+                            : FleetProtocol::kPft;
   /// Base detection options shared by every episode (see ShardConfig).
   core::DetectionOptions detection{};
 
@@ -69,6 +87,9 @@ struct ServiceReport {
   std::uint64_t sessions_degraded = 0;
   std::uint64_t degraded_inferences = 0;
   std::uint64_t sessions_completed = 0;
+  /// Completed sessions by frontend protocol (sums to sessions_completed).
+  std::uint64_t sessions_pft = 0;
+  std::uint64_t sessions_etrace = 0;
   sim::Sampler queue_depth;  ///< merged shard ingress depth samples
   std::size_t queue_high_watermark = 0;
 

@@ -85,6 +85,7 @@ void Shard::dispatch(AdmissionController& admission, std::size_t lane,
   core::DetectionOptions opts = cfg_.detection;
   opts.seed = req.seed;
   opts.attacks = req.attacks;
+  opts.proto = req.proto;
   opts.trace_path.clear();
   opts.metrics_path.clear();
   const core::ModelKind model =
@@ -108,6 +109,11 @@ void Shard::dispatch(AdmissionController& admission, std::size_t lane,
   o.detection = session.result();
   lane_free_at_[lane] = o.completion_ps;
   ++stats_.completed;
+  if (o.request.proto == trace::TraceProtocol::kEtrace) {
+    ++stats_.completed_etrace;
+  } else {
+    ++stats_.completed_pft;
+  }
   if (o.degraded) stats_.degraded_inferences += o.detection.inferences;
   out.push_back(std::move(o));
 }

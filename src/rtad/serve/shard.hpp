@@ -68,6 +68,9 @@ struct ShardStats {
   std::uint64_t degraded = 0;            ///< sessions downgraded on admit
   std::uint64_t degraded_inferences = 0; ///< inferences retired downgraded
   std::uint64_t completed = 0;
+  /// Completed sessions by frontend protocol (sums to completed).
+  std::uint64_t completed_pft = 0;
+  std::uint64_t completed_etrace = 0;
   /// advance() quanta issued. Host-side diagnostic only — it scales with
   /// 1/quantum while all results stay identical, so it must never reach
   /// the byte-identity surface.

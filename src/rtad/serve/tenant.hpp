@@ -20,6 +20,7 @@
 
 #include "rtad/core/config.hpp"
 #include "rtad/sim/time.hpp"
+#include "rtad/trace/protocol.hpp"
 
 namespace rtad::serve {
 
@@ -50,6 +51,10 @@ struct SessionRequest {
   /// Set by admission control under the degrade policy: run the cheap
   /// model (ELM) instead of the requested one.
   bool degraded = false;
+  /// Trace protocol this tenant's SoC frontend speaks. The service assigns
+  /// it before routing (ServiceConfig::proto); heterogeneous fleets mix
+  /// PFT and E-Trace hosts behind one detection service.
+  trace::TraceProtocol proto = trace::default_trace_protocol();
 };
 
 /// FNV-1a over the tenant name (the same construction as the score digest:
@@ -69,6 +74,16 @@ constexpr std::size_t shard_for(std::string_view tenant,
   return shard_count == 0
              ? 0
              : static_cast<std::size_t>(tenant_hash(tenant) % shard_count);
+}
+
+/// Per-tenant protocol assignment for mixed fleets: a stable hash bit
+/// disjoint from the shard-routing modulus, so the protocol split is
+/// independent of fleet width, request order and worker count.
+constexpr trace::TraceProtocol tenant_protocol(
+    std::string_view tenant) noexcept {
+  return ((tenant_hash(tenant) >> 32) & 1) != 0
+             ? trace::TraceProtocol::kEtrace
+             : trace::TraceProtocol::kPft;
 }
 
 }  // namespace rtad::serve

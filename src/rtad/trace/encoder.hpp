@@ -1,0 +1,52 @@
+// TraceEncoder — the protocol-specific packetizer inside the TraceSource.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rtad/cpu/branch_event.hpp"
+#include "rtad/trace/protocol.hpp"
+
+namespace rtad::trace {
+
+/// Stateful packetizer: compresses a stream of retired branch events into
+/// protocol bytes. Implementations hold whatever compression state the
+/// grammar needs (last emitted address, pending conditional outcomes) and
+/// share one contract:
+///
+///   * encode() appends the packet bytes for one event. Conditional
+///     outcomes may be batched (PFT atoms, E-Trace branch maps); a waypoint
+///     always flushes the batch first so stream order matches program
+///     order.
+///   * emit_sync() appends the protocol's full resynchronization preamble
+///     (address + context), flushing any batch first, and re-bases the
+///     compression state — a decoder joining at the preamble locks on with
+///     no prior history.
+///   * flush() drains a pending outcome batch without a waypoint (used at
+///     stream end and by tests; the SoC path flushes via encode/emit_sync).
+class TraceEncoder {
+ public:
+  virtual ~TraceEncoder() = default;
+
+  virtual TraceProtocol protocol() const noexcept = 0;
+
+  /// Encode one branch event, appending packet bytes to `out`.
+  virtual void encode(const cpu::BranchEvent& event,
+                      std::vector<std::uint8_t>& out) = 0;
+
+  /// Flush any buffered conditional outcomes as a (possibly short) packet.
+  virtual void flush(std::vector<std::uint8_t>& out) = 0;
+
+  /// Emit the periodic resync preamble for `current_addr` / `context_id`.
+  virtual void emit_sync(std::uint64_t current_addr, std::uint8_t context_id,
+                         std::vector<std::uint8_t>& out) = 0;
+
+  virtual void reset() = 0;
+};
+
+/// Factory paired with make_decoder(): both sides of a protocol come from
+/// the same TraceProtocol value, so a SoC can never be wired half-PFT.
+std::unique_ptr<TraceEncoder> make_encoder(TraceProtocol proto);
+
+}  // namespace rtad::trace

@@ -1,0 +1,267 @@
+#include "rtad/trace/etrace.hpp"
+
+namespace rtad::trace {
+
+namespace {
+
+std::uint32_t halfword_index(std::uint64_t address) {
+  return static_cast<std::uint32_t>((address & 0xFFFFFFFFULL) >> 1);
+}
+
+int zigzag_bytes_needed(std::uint32_t zz) {
+  for (int n = 1; n < kEtraceMaxAddressBytes; ++n) {
+    if (zz < (1ULL << (8 * n))) return n;
+  }
+  return kEtraceMaxAddressBytes;
+}
+
+}  // namespace
+
+void EtraceEncoder::reset() {
+  last_address_ = 0;
+  pending_map_ = 0;
+  pending_map_count_ = 0;
+}
+
+int EtraceEncoder::address_bytes_needed(std::uint64_t target) const {
+  const std::int64_t delta =
+      static_cast<std::int64_t>(halfword_index(target)) -
+      static_cast<std::int64_t>(halfword_index(last_address_));
+  return zigzag_bytes_needed(
+      etrace_zigzag(static_cast<std::int32_t>(delta)));
+}
+
+void EtraceEncoder::flush(std::vector<std::uint8_t>& out) {
+  if (pending_map_count_ == 0) return;
+  out.push_back(static_cast<std::uint8_t>(
+      kEtraceFormatBranchMap | (pending_map_count_ << 2)));
+  for (int i = 0; i < pending_map_count_; i += 8) {
+    out.push_back(static_cast<std::uint8_t>((pending_map_ >> i) & 0xFF));
+  }
+  pending_map_ = 0;
+  pending_map_count_ = 0;
+}
+
+void EtraceEncoder::emit_address(std::uint64_t target,
+                                 EtraceExceptionInfo info,
+                                 std::vector<std::uint8_t>& out) {
+  const std::int64_t delta =
+      static_cast<std::int64_t>(halfword_index(target)) -
+      static_cast<std::int64_t>(halfword_index(last_address_));
+  const std::uint32_t zz = etrace_zigzag(static_cast<std::int32_t>(delta));
+  const int n = zigzag_bytes_needed(zz);
+  out.push_back(static_cast<std::uint8_t>(
+      kEtraceFormatAddress | (static_cast<std::uint8_t>(info) << 2) |
+      ((n - 1) << 4)));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(static_cast<std::uint8_t>((zz >> (8 * i)) & 0xFF));
+  }
+  last_address_ = target & 0xFFFFFFFEULL;
+}
+
+void EtraceEncoder::encode(const cpu::BranchEvent& event,
+                           std::vector<std::uint8_t>& out) {
+  if (event.kind == cpu::BranchKind::kConditional) {
+    pending_map_ |= static_cast<std::uint32_t>(event.taken ? 1 : 0)
+                    << pending_map_count_;
+    ++pending_map_count_;
+    if (pending_map_count_ == kEtraceMaxMapOutcomes) flush(out);
+    return;
+  }
+  // Waypoint: the map first so stream order matches retirement order.
+  flush(out);
+  const auto info = event.kind == cpu::BranchKind::kSyscall
+                        ? EtraceExceptionInfo::kSyscall
+                        : EtraceExceptionInfo::kNone;
+  emit_address(event.target, info, out);
+}
+
+void EtraceEncoder::emit_sync(std::uint64_t current_addr,
+                              std::uint8_t context_id,
+                              std::vector<std::uint8_t>& out) {
+  flush(out);
+  for (int i = 0; i < kEtraceSyncRepeat; ++i) {
+    out.push_back(kEtraceSyncByte);
+  }
+  out.push_back(kEtraceSyncTerminator);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((current_addr >> (8 * i)) & 0xFF));
+  }
+  out.push_back(context_id);
+  last_address_ = current_addr & 0xFFFFFFFEULL;
+}
+
+void EtraceStreamDecoder::reset() {
+  state_ = State::kUnsynced;
+  sync_run_ = 0;
+  payload_needed_ = 0;
+  map_count_ = 0;
+  addr_info_ = EtraceExceptionInfo::kNone;
+  payload_.clear();
+  reset_shared_state();
+}
+
+void EtraceStreamDecoder::resync() noexcept {
+  state_ = State::kUnsynced;
+  synced_ = false;
+  sync_run_ = 0;
+  payload_needed_ = 0;
+  map_count_ = 0;
+  payload_.clear();
+  ++resyncs_;
+}
+
+void EtraceStreamDecoder::fail_packet() noexcept {
+  ++bad_packets_;
+  resync();
+}
+
+std::optional<DecodedBranch> EtraceStreamDecoder::finish_address(
+    const TraceByte& byte) {
+  std::uint32_t zz = 0;
+  for (std::size_t i = 0; i < payload_.size(); ++i) {
+    zz |= static_cast<std::uint32_t>(payload_[i]) << (8 * i);
+  }
+  const std::int32_t delta = etrace_unzigzag(zz);
+  const std::uint32_t target31 =
+      (halfword_index(last_address_) +
+       static_cast<std::uint32_t>(delta)) &
+      0x7FFFFFFFu;
+  const std::uint64_t address = static_cast<std::uint64_t>(target31) << 1;
+  last_address_ = address;
+  const bool is_syscall = addr_info_ == EtraceExceptionInfo::kSyscall;
+  ++branches_decoded_;
+  payload_.clear();
+  state_ = State::kIdle;
+  return DecodedBranch{address, is_syscall, byte.origin_ps, byte.event_seq,
+                       byte.injected};
+}
+
+std::optional<DecodedBranch> EtraceStreamDecoder::feed(const TraceByte& byte) {
+  ++bytes_consumed_;
+  const std::uint8_t b = byte.value;
+
+  switch (state_) {
+    case State::kUnsynced:
+      if (b == kEtraceSyncByte) {
+        ++sync_run_;
+      } else if (b == kEtraceSyncTerminator &&
+                 sync_run_ >= kEtraceSyncRepeat) {
+        sync_run_ = 0;
+        payload_.clear();
+        payload_needed_ = kEtraceSyncPayloadBytes;
+        state_ = State::kSyncPayload;
+      } else {
+        sync_run_ = 0;
+      }
+      return std::nullopt;
+
+    case State::kIdle:
+      if (b == kEtraceSyncByte) {
+        sync_run_ = 1;
+        state_ = State::kSyncRun;
+        return std::nullopt;
+      }
+      switch (b & kEtraceFormatMask) {
+        case kEtraceFormatBranchMap: {
+          if ((b & 0x80) != 0) {
+            fail_packet();
+            return std::nullopt;
+          }
+          map_count_ = (b >> 2) & 0x1F;
+          if (map_count_ == 0) {
+            fail_packet();
+            return std::nullopt;
+          }
+          payload_.clear();
+          payload_needed_ = (map_count_ + 7) / 8;
+          state_ = State::kMapPayload;
+          return std::nullopt;
+        }
+        case kEtraceFormatAddress: {
+          if ((b & 0x80) != 0) {
+            fail_packet();
+            return std::nullopt;
+          }
+          const auto info =
+              static_cast<EtraceExceptionInfo>((b >> 2) & 0x03);
+          if (info != EtraceExceptionInfo::kNone &&
+              info != EtraceExceptionInfo::kSyscall) {
+            fail_packet();
+            return std::nullopt;
+          }
+          addr_info_ = info;
+          payload_.clear();
+          payload_needed_ = ((b >> 4) & 0x07) + 1;
+          if (payload_needed_ > kEtraceMaxAddressBytes) {
+            fail_packet();
+            return std::nullopt;
+          }
+          state_ = State::kAddrPayload;
+          return std::nullopt;
+        }
+        default:
+          // format 0b00 and non-sync 0b11 bytes (including a stray
+          // terminator) are reserved — stream damage.
+          fail_packet();
+          return std::nullopt;
+      }
+
+    case State::kSyncRun:
+      if (b == kEtraceSyncByte) {
+        ++sync_run_;
+      } else if (b == kEtraceSyncTerminator &&
+                 sync_run_ >= kEtraceSyncRepeat) {
+        sync_run_ = 0;
+        payload_.clear();
+        payload_needed_ = kEtraceSyncPayloadBytes;
+        state_ = State::kSyncPayload;
+      } else {
+        // A clean encoder always completes the run and terminates it.
+        fail_packet();
+      }
+      return std::nullopt;
+
+    case State::kSyncPayload:
+      payload_.push_back(b);
+      if (--payload_needed_ == 0) {
+        std::uint64_t addr = 0;
+        for (int i = 0; i < 4; ++i) {
+          addr |=
+              static_cast<std::uint64_t>(payload_[static_cast<std::size_t>(i)])
+              << (8 * i);
+        }
+        last_address_ = addr & 0xFFFFFFFEULL;
+        context_id_ = payload_[4];
+        synced_ = true;
+        payload_.clear();
+        state_ = State::kIdle;
+      }
+      return std::nullopt;
+
+    case State::kMapPayload:
+      payload_.push_back(b);
+      if (--payload_needed_ == 0) {
+        // Padding bits beyond map_count_ must be zero on a clean stream.
+        const int last_bits =
+            map_count_ - 8 * (static_cast<int>(payload_.size()) - 1);
+        if (last_bits < 8 && (payload_.back() >> last_bits) != 0) {
+          fail_packet();
+          return std::nullopt;
+        }
+        atoms_decoded_ += static_cast<std::uint64_t>(map_count_);
+        map_count_ = 0;
+        payload_.clear();
+        state_ = State::kIdle;
+      }
+      return std::nullopt;
+
+    case State::kAddrPayload:
+      payload_.push_back(b);
+      if (--payload_needed_ == 0) return finish_address(byte);
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtad::trace

@@ -1,0 +1,91 @@
+// RISC-V E-Trace codec — the TraceEncoder/TraceDecoder pair for
+// TraceProtocol::kEtrace (see etrace_packet.hpp for the grammar).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rtad/trace/decoder.hpp"
+#include "rtad/trace/encoder.hpp"
+#include "rtad/trace/etrace_packet.hpp"
+
+namespace rtad::trace {
+
+/// Stateful packetizer: batches conditional outcomes into branch-map
+/// packets (flushed by a waypoint, a sync, or a full 31-outcome map) and
+/// sends waypoint targets as zigzag halfword deltas from the previous
+/// target.
+class EtraceEncoder final : public TraceEncoder {
+ public:
+  TraceProtocol protocol() const noexcept override {
+    return TraceProtocol::kEtrace;
+  }
+
+  void encode(const cpu::BranchEvent& event,
+              std::vector<std::uint8_t>& out) override;
+
+  /// Flush any buffered outcomes as a (possibly short) branch-map packet.
+  void flush(std::vector<std::uint8_t>& out) override;
+
+  /// Emit the sync preamble: kSyncRepeat sync bytes, the terminator, the
+  /// full current address, and the context byte. Re-bases the delta state.
+  void emit_sync(std::uint64_t current_addr, std::uint8_t context_id,
+                 std::vector<std::uint8_t>& out) override;
+
+  void reset() override;
+
+  /// Number of delta payload bytes a branch to `target` would need right
+  /// now (diagnostic; compression tests).
+  int address_bytes_needed(std::uint64_t target) const;
+
+ private:
+  void emit_address(std::uint64_t target, EtraceExceptionInfo info,
+                    std::vector<std::uint8_t>& out);
+
+  std::uint64_t last_address_ = 0;
+  std::uint32_t pending_map_ = 0;  ///< LSB-first outcomes
+  int pending_map_count_ = 0;
+};
+
+/// Byte-sequential E-Trace stream decoder. Starts unsynchronized and
+/// discards bytes until the first full sync preamble; see TraceDecoder for
+/// the degradation contract. Every reserved encoding (format 0b00, a stray
+/// 0b11 byte, header bit 7, reserved exception info, an over-long delta,
+/// nonzero padding bits in a branch map) counts one bad packet and drops
+/// back to the sync hunt.
+class EtraceStreamDecoder final : public TraceDecoder {
+ public:
+  TraceProtocol protocol() const noexcept override {
+    return TraceProtocol::kEtrace;
+  }
+
+  std::optional<DecodedBranch> feed(const TraceByte& byte) override;
+
+  void reset() override;
+
+  /// Abandon the current packet and hunt for the next sync preamble.
+  void resync() noexcept override;
+
+ private:
+  enum class State {
+    kUnsynced,      ///< hunting for the sync-byte run
+    kIdle,          ///< expecting a packet header
+    kSyncRun,       ///< inside a run of 0x03 bytes (already synced)
+    kSyncPayload,   ///< collecting 4 addr bytes + 1 context byte
+    kMapPayload,    ///< collecting branch-map bitmap bytes
+    kAddrPayload,   ///< collecting zigzag delta bytes
+  };
+
+  std::optional<DecodedBranch> finish_address(const TraceByte& byte);
+  void fail_packet() noexcept;
+
+  State state_ = State::kUnsynced;
+  int sync_run_ = 0;
+  int payload_needed_ = 0;
+  int map_count_ = 0;
+  EtraceExceptionInfo addr_info_ = EtraceExceptionInfo::kNone;
+  std::vector<std::uint8_t> payload_;
+};
+
+}  // namespace rtad::trace

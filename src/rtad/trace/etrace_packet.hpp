@@ -1,0 +1,67 @@
+// E-Trace-inspired packet format ("Efficient Trace for RISC-V").
+//
+// RISC-V's processor branch trace compresses control flow with two devices
+// that are structurally different from PFT and therefore exercise the
+// protocol seam for real:
+//   * branch-map packets — up to 31 conditional outcomes batched as a bit
+//     map (PFT caps atoms at 4 per byte),
+//   * differential addresses — a waypoint target is sent as the signed
+//     halfword delta from the previous target, zigzag-encoded LSB-first
+//     (PFT sends a low-bits prefix of the absolute address).
+//
+// We implement a byte-oriented documented subset. The low two bits of a
+// header byte select the format:
+//
+//   SYNC     : 0x03 repeated >= kSyncRepeat times, then the 0xF3
+//              terminator, then addr[7:0..31:24] (LSB-first) and one
+//              context byte. Re-bases the decoder's address register —
+//              the A-sync-equivalent resynchronization point.
+//   BRANCH_MAP (format 0b01): header bits[6:2] = outcome count 1..31,
+//              bit 7 = 0. Payload: ceil(count/8) bytes of taken bits,
+//              LSB-first; unused high bits of the last byte are 0.
+//   ADDRESS  (format 0b10): header bits[3:2] = exception info (0 = none,
+//              1 = syscall), bits[6:4] = payload length - 1 (1..4 bytes),
+//              bit 7 = 0. Payload: zigzag((target>>1) - (last>>1)) as an
+//              unsigned 32-bit value, LSB-first, minimal length. addr[0]
+//              is never traced (halfword alignment, as in PFT).
+//   format 0b00 and any other 0b11 byte are reserved.
+//
+// Every "must be zero / reserved" rule above is a corruption-detection
+// point: the decoder answers a violation with bad-packet counting plus a
+// resync hunt, mirroring the PFT degradation contract.
+#pragma once
+
+#include <cstdint>
+
+namespace rtad::trace {
+
+inline constexpr std::uint8_t kEtraceSyncByte = 0x03;
+inline constexpr std::uint8_t kEtraceSyncTerminator = 0xF3;
+inline constexpr int kEtraceSyncRepeat = 3;
+inline constexpr int kEtraceSyncPayloadBytes = 5;  ///< 4 addr + 1 context
+
+inline constexpr std::uint8_t kEtraceFormatMask = 0x03;
+inline constexpr std::uint8_t kEtraceFormatBranchMap = 0x01;
+inline constexpr std::uint8_t kEtraceFormatAddress = 0x02;
+
+inline constexpr int kEtraceMaxMapOutcomes = 31;
+inline constexpr int kEtraceMaxAddressBytes = 4;
+
+/// Exception-info codes carried in bits[3:2] of an address header.
+enum class EtraceExceptionInfo : std::uint8_t {
+  kNone = 0,
+  kSyscall = 1,
+  // 2 and 3 are reserved; a decoder treats them as stream damage.
+};
+
+/// zigzag map: signed halfword delta <-> unsigned wire value.
+constexpr std::uint32_t etrace_zigzag(std::int32_t delta) noexcept {
+  return (static_cast<std::uint32_t>(delta) << 1) ^
+         static_cast<std::uint32_t>(delta >> 31);
+}
+
+constexpr std::int32_t etrace_unzigzag(std::uint32_t value) noexcept {
+  return static_cast<std::int32_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+}  // namespace rtad::trace

@@ -1,24 +1,109 @@
-#include "rtad/igm/pft_decoder.hpp"
+#include "rtad/trace/pft.hpp"
 
-namespace rtad::igm {
+#include <array>
 
-using coresight::classify_header;
-using coresight::kContinuationBit;
-using coresight::PacketType;
+namespace rtad::trace {
+
+namespace {
+
+// Payload bit spans for a k-byte branch-address packet: with k bytes the
+// receiver learns addr[top(k):1]; higher bits come from its last address.
+constexpr std::array<int, 5> kTopBit = {6, 13, 20, 27, 31};
+
+std::uint64_t low_bits_mask(int top) {
+  // Bits [top:1] (bit 0 is never traced).
+  return ((1ULL << (top + 1)) - 1) & ~1ULL;
+}
+
+}  // namespace
+
+void PftEncoder::reset() {
+  last_address_ = 0;
+  pending_atoms_ = 0;
+  pending_atom_count_ = 0;
+}
+
+int PftEncoder::address_bytes_needed(std::uint64_t target) const {
+  for (int k = 1; k <= 5; ++k) {
+    const std::uint64_t mask = low_bits_mask(kTopBit[k - 1]);
+    const std::uint64_t reconstructed =
+        (last_address_ & ~mask) | (target & mask);
+    if ((reconstructed & 0xFFFFFFFEULL) == (target & 0xFFFFFFFEULL)) return k;
+  }
+  return 5;
+}
+
+void PftEncoder::flush(std::vector<std::uint8_t>& out) {
+  if (pending_atom_count_ == 0) return;
+  // bits[1:0]=10, bits[5:2]=outcomes, bits[7:6]=count-1
+  std::uint8_t b = 0x02;
+  b |= static_cast<std::uint8_t>((pending_atoms_ & 0x0F) << 2);
+  b |= static_cast<std::uint8_t>((pending_atom_count_ - 1) << 6);
+  out.push_back(b);
+  pending_atoms_ = 0;
+  pending_atom_count_ = 0;
+}
+
+void PftEncoder::emit_branch_address(std::uint64_t target,
+                                     BranchExceptionInfo info,
+                                     std::vector<std::uint8_t>& out) {
+  const int k =
+      (info == BranchExceptionInfo::kNone) ? address_bytes_needed(target) : 5;
+  const std::uint64_t payload = (target & 0xFFFFFFFFULL) >> 1;  // addr[31:1]
+  for (int i = 0; i < k; ++i) {
+    std::uint8_t b;
+    if (i == 0) {
+      b = 0x01 | static_cast<std::uint8_t>((payload & 0x3F) << 1);
+    } else if (i < 4) {
+      b = static_cast<std::uint8_t>((payload >> (6 + 7 * (i - 1))) & 0x7F);
+    } else {
+      b = static_cast<std::uint8_t>((payload >> 27) & 0x0F);
+      b |= static_cast<std::uint8_t>(static_cast<std::uint8_t>(info) << 4);
+    }
+    if (i != k - 1) b |= kContinuationBit;
+    out.push_back(b);
+  }
+  last_address_ = target & 0xFFFFFFFEULL;
+}
+
+void PftEncoder::encode(const cpu::BranchEvent& event,
+                        std::vector<std::uint8_t>& out) {
+  if (event.kind == cpu::BranchKind::kConditional) {
+    pending_atoms_ |= static_cast<std::uint8_t>(event.taken ? 1 : 0)
+                      << pending_atom_count_;
+    ++pending_atom_count_;
+    if (pending_atom_count_ == 4) flush(out);
+    return;
+  }
+  // Waypoint: atoms first so stream order matches retirement order.
+  flush(out);
+  const auto info = event.kind == cpu::BranchKind::kSyscall
+                        ? BranchExceptionInfo::kSyscall
+                        : BranchExceptionInfo::kNone;
+  emit_branch_address(event.target, info, out);
+}
+
+void PftEncoder::emit_sync(std::uint64_t current_addr, std::uint8_t context_id,
+                           std::vector<std::uint8_t>& out) {
+  flush(out);
+  for (int i = 0; i < kAsyncZeroBytes; ++i) out.push_back(0x00);
+  out.push_back(kAsyncTerminator);
+  out.push_back(kIsyncHeader);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((current_addr >> (8 * i)) & 0xFF));
+  }
+  out.push_back(0x00);  // info byte (no cycle-accurate mode)
+  out.push_back(kContextIdHeader);
+  out.push_back(context_id);
+  last_address_ = current_addr & 0xFFFFFFFEULL;
+}
 
 void PftStreamDecoder::reset() {
   state_ = State::kUnsynced;
   zeros_seen_ = 0;
   payload_needed_ = 0;
   payload_.clear();
-  last_address_ = 0;
-  context_id_ = 0;
-  synced_ = false;
-  atoms_decoded_ = 0;
-  branches_decoded_ = 0;
-  bytes_consumed_ = 0;
-  bad_packets_ = 0;
-  resyncs_ = 0;
+  reset_shared_state();
 }
 
 void PftStreamDecoder::resync() noexcept {
@@ -31,7 +116,7 @@ void PftStreamDecoder::resync() noexcept {
 }
 
 std::optional<DecodedBranch> PftStreamDecoder::finish_branch(
-    const coresight::TraceByte& byte) {
+    const TraceByte& byte) {
   // payload_ holds the full packet bytes (header included).
   const std::size_t k = payload_.size();
   std::uint64_t bits = 0;
@@ -55,9 +140,9 @@ std::optional<DecodedBranch> PftStreamDecoder::finish_branch(
 
   bool is_syscall = false;
   if (k == 5) {
-    const auto info = static_cast<coresight::BranchExceptionInfo>(
-        (payload_[4] >> 4) & 0x07);
-    is_syscall = info == coresight::BranchExceptionInfo::kSyscall;
+    const auto info =
+        static_cast<BranchExceptionInfo>((payload_[4] >> 4) & 0x07);
+    is_syscall = info == BranchExceptionInfo::kSyscall;
   }
   ++branches_decoded_;
   payload_.clear();
@@ -66,8 +151,7 @@ std::optional<DecodedBranch> PftStreamDecoder::finish_branch(
                        byte.injected};
 }
 
-std::optional<DecodedBranch> PftStreamDecoder::feed(
-    const coresight::TraceByte& byte) {
+std::optional<DecodedBranch> PftStreamDecoder::feed(const TraceByte& byte) {
   ++bytes_consumed_;
   const std::uint8_t b = byte.value;
 
@@ -75,8 +159,7 @@ std::optional<DecodedBranch> PftStreamDecoder::feed(
     case State::kUnsynced:
       if (b == 0x00) {
         ++zeros_seen_;
-      } else if (b == coresight::kAsyncTerminator &&
-                 zeros_seen_ >= coresight::kAsyncZeroBytes) {
+      } else if (b == kAsyncTerminator && zeros_seen_ >= kAsyncZeroBytes) {
         state_ = State::kIdle;
         synced_ = true;
         zeros_seen_ = 0;
@@ -120,8 +203,7 @@ std::optional<DecodedBranch> PftStreamDecoder::feed(
     case State::kAsyncRun:
       if (b == 0x00) {
         ++zeros_seen_;
-      } else if (b == coresight::kAsyncTerminator &&
-                 zeros_seen_ >= coresight::kAsyncZeroBytes) {
+      } else if (b == kAsyncTerminator && zeros_seen_ >= kAsyncZeroBytes) {
         state_ = State::kIdle;
         zeros_seen_ = 0;
       } else {
@@ -138,8 +220,9 @@ std::optional<DecodedBranch> PftStreamDecoder::feed(
       if (--payload_needed_ == 0) {
         std::uint64_t addr = 0;
         for (int i = 0; i < 4; ++i) {
-          addr |= static_cast<std::uint64_t>(payload_[static_cast<std::size_t>(i)])
-                  << (8 * i);
+          addr |=
+              static_cast<std::uint64_t>(payload_[static_cast<std::size_t>(i)])
+              << (8 * i);
         }
         last_address_ = addr & 0xFFFFFFFEULL;
         payload_.clear();
@@ -172,4 +255,4 @@ std::optional<DecodedBranch> PftStreamDecoder::feed(
   return std::nullopt;
 }
 
-}  // namespace rtad::igm
+}  // namespace rtad::trace

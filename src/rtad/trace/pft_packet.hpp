@@ -1,0 +1,65 @@
+// PFT-inspired trace packet format.
+//
+// ARM's Program Flow Trace (PFT) protocol, produced by the CoreSight PTM, is
+// a byte-oriented compressed stream. We implement a documented subset with
+// the same structural properties that matter to the IGM:
+//   * byte-sequential decode (packets are 1..6 bytes; bytes carry a
+//     continuation bit, so a decoder must walk them in order),
+//   * branch-target-address compression against the previously emitted
+//     address (only changed low-order bit groups are sent),
+//   * conditional branch outcomes batched into 1-byte atom packets,
+//   * periodic A-sync / I-sync for decoder (re)synchronization.
+//
+// Packet grammar (header byte = first byte of a packet):
+//   ASYNC      : 0x00 0x00 0x00 0x00 0x80            (5 bytes, resync marker)
+//   ISYNC      : 0x08, addr[7:0], addr[15:8], addr[23:16], addr[31:24], info
+//   CONTEXTID  : 0x0C, ctx[7:0]
+//   ATOM       : bits[1:0] = 0b10, bits[5:2] = up to 4 E/N outcomes
+//                (LSB-first), bits[7:6] = count-1
+//   BRANCH_ADDR: byte0 bit0 = 1. Bytes carry a continuation flag in bit 7
+//                (1 = more bytes follow). Payload bits (LSB-first over the
+//                bytes): byte0 bits[6:1] = addr[6:1], byte1..3 bits[6:0] =
+//                next 7 address bits each, byte4 bits[3:0] = addr[31:28],
+//                byte4 bits[6:4] = exception info (0 = none, 1 = syscall).
+//                The encoder emits the minimal prefix of bytes such that the
+//                receiver can reconstruct the full address from its last
+//                decoded address (all higher bits unchanged). A syscall
+//                always emits the full 5-byte form (exception info lives in
+//                byte 4). addr[0] is never traced (halfword alignment).
+#pragma once
+
+#include <cstdint>
+
+namespace rtad::trace {
+
+enum class PacketType : std::uint8_t {
+  kAsync,
+  kIsync,
+  kContextId,
+  kAtom,
+  kBranchAddress,
+};
+
+inline constexpr std::uint8_t kIsyncHeader = 0x08;
+inline constexpr std::uint8_t kContextIdHeader = 0x0C;
+inline constexpr std::uint8_t kAsyncTerminator = 0x80;
+inline constexpr int kAsyncZeroBytes = 4;
+
+inline constexpr std::uint8_t kContinuationBit = 0x80;
+
+/// Classify a packet by its header byte (assuming stream is in sync).
+constexpr PacketType classify_header(std::uint8_t b) noexcept {
+  if (b & 0x01) return PacketType::kBranchAddress;
+  if ((b & 0x03) == 0x02) return PacketType::kAtom;
+  if (b == kIsyncHeader) return PacketType::kIsync;
+  if (b == kContextIdHeader) return PacketType::kContextId;
+  return PacketType::kAsync;  // 0x00 starts the A-sync run
+}
+
+/// Exception-info codes carried in byte 4 of a full branch-address packet.
+enum class BranchExceptionInfo : std::uint8_t {
+  kNone = 0,
+  kSyscall = 1,
+};
+
+}  // namespace rtad::trace

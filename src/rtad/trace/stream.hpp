@@ -1,0 +1,36 @@
+// Protocol-neutral stream types shared by every trace frontend.
+//
+// TraceByte is what flows from the TraceSource through the TPIU byte
+// transport; DecodedBranch is what every protocol's decoder hands the IGM
+// pipeline. Neither depends on a packet grammar — the protocol-specific
+// byte layouts live entirely inside the TraceEncoder/TraceDecoder pairs.
+#pragma once
+
+#include <cstdint>
+
+#include "rtad/sim/time.hpp"
+
+namespace rtad::trace {
+
+/// One trace byte annotated with simulation sidebands: the retirement time
+/// and sequence number of the *latest* branch event whose encoding this byte
+/// completes. The sidebands never influence functional behaviour; they exist
+/// so experiments can measure end-to-end latency per event (Fig. 7/8).
+struct TraceByte {
+  std::uint8_t value = 0;
+  sim::Picoseconds origin_ps = 0;
+  std::uint64_t event_seq = 0;
+  bool injected = false;
+};
+
+/// A branch target address recovered from the trace stream, with the
+/// simulation sidebands of the byte that completed its packet.
+struct DecodedBranch {
+  std::uint64_t address = 0;
+  bool is_syscall = false;
+  sim::Picoseconds origin_ps = 0;
+  std::uint64_t event_seq = 0;
+  bool injected = false;
+};
+
+}  // namespace rtad::trace

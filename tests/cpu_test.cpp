@@ -1,6 +1,7 @@
 // Host CPU model + instrumentation cost tests.
 #include <gtest/gtest.h>
 
+#include "rtad/coresight/ptm.hpp"
 #include "rtad/cpu/host_cpu.hpp"
 #include "rtad/cpu/instrumentation.hpp"
 #include "rtad/workloads/spec_model.hpp"

@@ -138,6 +138,42 @@ TEST(ExperimentLayer, LstmSitsAboveElmPerBenchmarkOnMlMiaow) {
   }
 }
 
+TEST(ExperimentLayer, EtraceFrontendFlagsTheSameAnomalies) {
+  // The trace protocol is a wire-encoding choice: swapping the PFT
+  // frontend for E-Trace on the same cell must reproduce the identical
+  // flagged-anomaly set (attacks, detections, false positives). Latency
+  // may move by decode-pipeline jitter; verdicts may not.
+  auto cache = std::make_shared<TrainedModelCache>(
+      TrainingOptions{},
+      [](const std::string& name) { return fast_profile(name); });
+  const auto profile = cache->profile("hmmer");
+  const auto& models = cache->get("hmmer");
+
+  DetectionOptions dopt;
+  dopt.attacks = 3;
+  dopt.trace_path.clear();
+  dopt.metrics_path.clear();
+  dopt.proto = trace::TraceProtocol::kPft;
+  const auto pft = measure_detection(profile, models, ModelKind::kLstm,
+                                     EngineKind::kMlMiaow, dopt);
+  dopt.proto = trace::TraceProtocol::kEtrace;
+  const auto etrace = measure_detection(profile, models, ModelKind::kLstm,
+                                        EngineKind::kMlMiaow, dopt);
+
+  EXPECT_EQ(pft.trace_protocol, trace::TraceProtocol::kPft);
+  EXPECT_EQ(etrace.trace_protocol, trace::TraceProtocol::kEtrace);
+  EXPECT_EQ(pft.attacks, etrace.attacks);
+  EXPECT_EQ(pft.detections, etrace.detections);
+  EXPECT_EQ(pft.false_positives, etrace.false_positives);
+  // Both frontends decoded a healthy stream...
+  EXPECT_GT(pft.decode_branches, 0u);
+  EXPECT_GT(etrace.decode_branches, 0u);
+  EXPECT_EQ(pft.decode_bad_packets, 0u);
+  EXPECT_EQ(etrace.decode_bad_packets, 0u);
+  // ...but over genuinely different encodings.
+  EXPECT_NE(pft.trace_bytes_generated, etrace.trace_bytes_generated);
+}
+
 TEST(ExperimentLayer, LstmLatencyIsBenchmarkDependent) {
   const auto& run = run_fig8_mini();
   for (const auto engine : {EngineKind::kMiaow, EngineKind::kMlMiaow}) {

@@ -207,6 +207,95 @@ TEST(Service, OutcomesComeBackInSubmissionOrderWithExactTimes) {
   EXPECT_EQ(report.interactive.completed + report.batch.completed, 5u);
 }
 
+TEST(Service, MixedFleetAssignsProtocolsByTenantHash) {
+  auto cache = shared_cache();
+
+  // Pick two tenants per protocol so the mixed fleet is guaranteed
+  // heterogeneous regardless of how the hash bit falls on any one name.
+  std::vector<std::string> tenants;
+  {
+    std::size_t pft = 0, etrace = 0;
+    for (int i = 0; tenants.size() < 4 && i < 64; ++i) {
+      const std::string t = "tenant-" + std::to_string(i);
+      if (tenant_protocol(t) == trace::TraceProtocol::kEtrace) {
+        if (etrace++ < 2) tenants.push_back(t);
+      } else {
+        if (pft++ < 2) tenants.push_back(t);
+      }
+    }
+    ASSERT_EQ(tenants.size(), 4u) << "hash bit degenerate over 64 tenants";
+  }
+
+  auto requests = [&] {
+    std::vector<SessionRequest> reqs;
+    for (std::size_t i = 0; i < 6; ++i) {
+      SessionRequest r;
+      r.tenant = tenants[i % tenants.size()];
+      r.benchmark = "astar";
+      r.model = core::ModelKind::kElm;
+      r.arrival_ps = (1 + i) * 2 * sim::kPsPerMs;
+      r.seed = 17 + 31 * i;
+      r.attacks = 1;
+      reqs.push_back(std::move(r));
+    }
+    return reqs;
+  };
+
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.lanes = 1;
+  cfg.queue_capacity = 8;
+  cfg.proto = FleetProtocol::kMixed;
+  cfg.detection.trace_path.clear();
+  cfg.detection.metrics_path.clear();
+
+  Service service(cfg, cache, 1);
+  const auto report = service.run(requests());
+  ASSERT_EQ(report.outcomes.size(), 6u);
+  for (const auto& o : report.outcomes) {
+    EXPECT_EQ(o.request.proto, tenant_protocol(o.request.tenant))
+        << o.request.tenant;
+    EXPECT_EQ(o.detection.trace_protocol, o.request.proto)
+        << "SoC frontend did not honor the assigned protocol";
+  }
+  EXPECT_GT(report.sessions_pft, 0u);
+  EXPECT_GT(report.sessions_etrace, 0u);
+  EXPECT_EQ(report.sessions_pft + report.sessions_etrace,
+            report.sessions_completed);
+
+  // The heterogeneous report is still byte-identical across worker counts.
+  Service wide(cfg, cache, 8);
+  EXPECT_EQ(report_json(cfg, report), report_json(cfg, wide.run(requests())))
+      << "worker count leaked into the mixed-fleet report";
+
+  const std::string json = report_json(cfg, report);
+  EXPECT_NE(json.find("\"proto\""), std::string::npos);
+  EXPECT_NE(json.find("mixed"), std::string::npos);
+  EXPECT_NE(json.find("serve.sessions_etrace"), std::string::npos);
+}
+
+TEST(Service, ForcedFleetProtocolOverridesRequests) {
+  auto cache = shared_cache();
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.lanes = 1;
+  cfg.queue_capacity = 8;
+  cfg.proto = FleetProtocol::kEtrace;
+  cfg.detection.trace_path.clear();
+  cfg.detection.metrics_path.clear();
+  Service service(cfg, cache, 1);
+
+  auto reqs = sample_requests();
+  for (auto& r : reqs) r.proto = trace::TraceProtocol::kPft;  // ignored
+  const auto report = service.run(std::move(reqs));
+  EXPECT_EQ(report.sessions_etrace, report.sessions_completed);
+  EXPECT_EQ(report.sessions_pft, 0u);
+  for (const auto& o : report.outcomes) {
+    EXPECT_EQ(o.request.proto, trace::TraceProtocol::kEtrace);
+    EXPECT_EQ(o.detection.trace_protocol, trace::TraceProtocol::kEtrace);
+  }
+}
+
 TEST(Admission, ShedsNewestWhenFull) {
   AdmissionConfig cfg;
   cfg.queue_capacity = 2;

@@ -10,9 +10,13 @@
 #      simulation in isolation — inside the matrix, launch wall-clock also
 #      covers the concurrently simulated CPU/fabric domains, which no GPU
 #      backend can remove; the end-to-end matrix walls are recorded too).
+#   3. Trace protocol: the E-Trace frontend must flag the identical
+#      attack/detection/false-positive counts as the PFT reference on the
+#      same cell (encodings differ; verdicts must not).
 #
-# Emits BENCH_fig8.json with wall-clock numbers for all three runs, the
-# event kernel's skip counters, and the backend probe.
+# Emits BENCH_fig8.json with wall-clock numbers for all four runs, the
+# event kernel's skip counters, the backend probe, and the measured
+# per-protocol encoder bandwidth (bytes per decoded branch).
 #
 # The speedups are computed on fig8's matrix_wall_ms (the detection matrix
 # itself): with RTAD_FIG8_FAST_TRAIN the bench pre-warms the model cache
@@ -74,6 +78,9 @@ echo "perf_smoke: benchmarks=${RTAD_FIG8_BENCHMARKS} models=${RTAD_FIG8_MODELS} 
 dense_ms=$(run_mode dense cycle dense)
 event_ms=$(run_mode event cycle event)
 fast_ms=$(run_mode event fast fast "${BACKEND_PROBE}")
+export RTAD_TRACE_PROTO=etrace
+etrace_ms=$(run_mode event fast etrace)
+unset RTAD_TRACE_PROTO
 
 # Byte-identity: neither the event kernel nor the fast backend may change
 # a single byte of stdout or of the rtad.metrics.v1 export.
@@ -90,11 +97,36 @@ for tag in event fast; do
   fi
 done
 
+# Cross-protocol verdict identity: the detection section of the metrics
+# export (attacks, detections, false positives) must match line-for-line
+# between the PFT and E-Trace runs — same formatting, so a plain textual
+# compare of the extracted lines is exact.
+for key in '"attacks"' '"detections"' '"false_positives"'; do
+  pft_line=$(grep -m1 "${key}" "${workdir}/metrics-fast.json")
+  etrace_line=$(grep -m1 "${key}" "${workdir}/metrics-etrace.json")
+  if [ "${pft_line}" != "${etrace_line}" ]; then
+    echo "perf_smoke: FAIL — ${key} differs between pft and etrace" >&2
+    echo "  pft:    ${pft_line}" >&2
+    echo "  etrace: ${etrace_line}" >&2
+    exit 1
+  fi
+done
+
+# Per-protocol encoder bandwidth, from the fig8 proto stderr lines.
+pft_bpb=$(sed -n 's/^fig8: proto=pft .*bytes_per_branch=\([0-9.]*\).*/\1/p' "${workdir}/fast.err")
+etrace_bpb=$(sed -n 's/^fig8: proto=etrace .*bytes_per_branch=\([0-9.]*\).*/\1/p' "${workdir}/etrace.err")
+if [ -z "${pft_bpb}" ] || [ -z "${etrace_bpb}" ]; then
+  echo "perf_smoke: FAIL — missing fig8 proto bandwidth lines" >&2
+  cat "${workdir}/etrace.err" >&2
+  exit 1
+fi
+
 dense_matrix_ms=$(matrix_ms dense)
 event_matrix_ms=$(matrix_ms event)
 fast_matrix_ms=$(matrix_ms fast)
+etrace_matrix_ms=$(matrix_ms etrace)
 if [ -z "${dense_matrix_ms}" ] || [ -z "${event_matrix_ms}" ] ||
-   [ -z "${fast_matrix_ms}" ]; then
+   [ -z "${fast_matrix_ms}" ] || [ -z "${etrace_matrix_ms}" ]; then
   echo "perf_smoke: FAIL — bench did not report matrix_wall_ms" >&2
   cat "${workdir}/event.err" >&2
   exit 1
@@ -153,6 +185,11 @@ cat > "${OUT_JSON}" <<JSON
   "backend_probe_cycle_wall_us": ${probe_cycle_us},
   "backend_probe_fast_wall_us": ${probe_fast_us},
   "fast_launches": ${fast_launches},
+  "etrace_wall_ms": ${etrace_ms},
+  "etrace_matrix_wall_ms": ${etrace_matrix_ms},
+  "trace_pft_bytes_per_branch": ${pft_bpb},
+  "trace_etrace_bytes_per_branch": ${etrace_bpb},
+  "etrace_flags_identical": true,
   "stdout_identical": true,
   "metrics_identical": true,
   "event_skipped_edge_groups": ${skipped_groups},
