@@ -110,7 +110,10 @@ void DetectionSession::on_inference(const mcm::InferenceRecord& rec) {
 }
 
 bool DetectionSession::advance(sim::Picoseconds budget_ps) {
-  if (phase_ == Phase::kDone) return false;
+  if (phase_ == Phase::kDone) {
+    throw SessionLifecycleError(
+        "DetectionSession::advance: session already completed");
+  }
   auto& sim = soc_->simulator();
   const sim::Picoseconds limit = saturating_add(sim.now(), budget_ps);
   // Each iteration runs the current phase to its own deadline or the budget
@@ -191,8 +194,78 @@ bool DetectionSession::advance(sim::Picoseconds budget_ps) {
 }
 
 void DetectionSession::run_to_completion() {
-  while (advance(kForever)) {
+  while (!done() && advance(kForever)) {
   }
+}
+
+SessionCheckpoint DetectionSession::checkpoint() const {
+  SessionCheckpoint ckpt;
+  ckpt.benchmark = result_.benchmark;
+  ckpt.model = model_;
+  ckpt.engine = result_.engine;
+  ckpt.options = options_;
+  ckpt.progress_ps = soc_->simulator().now();
+  ckpt.score_digest = score_digest_;
+  ckpt.anomaly_flags = anomaly_flags_;
+  ckpt.inferences = soc_->mcm().inferences_completed();
+  ckpt.irqs_fired = soc_->mcm().interrupts_fired();
+  ckpt.attacks_completed = attacks_done_;
+  ckpt.false_positives = false_positives_;
+  ckpt.phase = static_cast<std::uint8_t>(phase_);
+  ckpt.done = phase_ == Phase::kDone;
+  return ckpt;
+}
+
+std::unique_ptr<DetectionSession> DetectionSession::restore(
+    const SessionCheckpoint& ckpt, const workloads::SpecProfile& profile,
+    const TrainedModels& models) {
+  if (profile.name != ckpt.benchmark) {
+    throw CheckpointError("DetectionSession::restore: blob names benchmark '" +
+                          ckpt.benchmark + "' but caller supplied '" +
+                          profile.name + "'");
+  }
+  auto session = std::make_unique<DetectionSession>(
+      profile, models, ckpt.model, ckpt.engine, ckpt.options);
+  // Replay to the recorded boundary. Determinism makes the state at a
+  // boundary a pure function of (config, boundary time), so one advance()
+  // to progress_ps lands on the exact parked state; the loop only guards
+  // against a blob whose boundary the replay cannot reach (which would
+  // otherwise spin).
+  while (!session->done() && session->now() < ckpt.progress_ps) {
+    const sim::Picoseconds before = session->now();
+    session->advance(ckpt.progress_ps - before);
+    if (session->now() == before) {
+      throw CheckpointError(
+          "DetectionSession::restore: replay stalled before the checkpoint "
+          "boundary (blob does not match this configuration)");
+    }
+  }
+  session->replayed_ps_ = session->now();
+
+  // Cross-check every cursor: a restore that does not reproduce the
+  // recorded state bit-exactly must fail loudly, never hand back a
+  // silently diverged session.
+  const auto mismatch = [](const char* what) {
+    throw CheckpointError(std::string("DetectionSession::restore: replay "
+                                      "diverged from checkpoint cursor: ") +
+                          what);
+  };
+  if (session->now() != ckpt.progress_ps) mismatch("progress_ps");
+  if (session->score_digest_ != ckpt.score_digest) mismatch("score_digest");
+  if (session->anomaly_flags_ != ckpt.anomaly_flags) mismatch("anomaly_flags");
+  if (session->inferences() != ckpt.inferences) mismatch("inferences");
+  if (session->irqs_fired() != ckpt.irqs_fired) mismatch("irqs_fired");
+  if (session->attacks_done_ != ckpt.attacks_completed) {
+    mismatch("attacks_completed");
+  }
+  if (session->false_positives_ != ckpt.false_positives) {
+    mismatch("false_positives");
+  }
+  if (static_cast<std::uint8_t>(session->phase_) != ckpt.phase) {
+    mismatch("phase");
+  }
+  if (session->done() != ckpt.done) mismatch("done");
+  return session;
 }
 
 void DetectionSession::begin_attack_round() {
@@ -310,9 +383,14 @@ std::uint64_t DetectionSession::irqs_fired() const noexcept {
 
 const DetectionResult& DetectionSession::result() const {
   if (phase_ != Phase::kDone) {
-    throw std::logic_error(
+    throw SessionLifecycleError(
         "DetectionSession::result: session still in flight");
   }
+  if (result_taken_) {
+    throw SessionLifecycleError(
+        "DetectionSession::result: result already harvested");
+  }
+  result_taken_ = true;
   return result_;
 }
 

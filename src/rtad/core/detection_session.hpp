@@ -29,10 +29,22 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 
 #include "rtad/core/experiment.hpp"
+#include "rtad/core/session_checkpoint.hpp"
 
 namespace rtad::core {
+
+/// Misuse of the session's lifecycle: advance() after completion, or
+/// result() harvested twice. Derives from std::logic_error because these
+/// are caller bugs, not runtime conditions — but carries its own name so
+/// tests (and operators reading a crash log) see *which* contract broke
+/// instead of a generic phase-invariant failure.
+class SessionLifecycleError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
 
 class DetectionSession {
  public:
@@ -50,11 +62,37 @@ class DetectionSession {
   /// Advance the run by at most `budget_ps` of simulated time, then park at
   /// a run-API boundary. Phase-exit bookkeeping may overshoot by one edge
   /// group — the same one-group overshoot the one-shot driver performs when
-  /// an attribution window closes. Returns true while work remains.
+  /// an attribution window closes. Returns true while work remains; throws
+  /// SessionLifecycleError once the session is done (a completed episode
+  /// has harvested its SoC — driving it further would silently corrupt the
+  /// recorded result).
   bool advance(sim::Picoseconds budget_ps);
 
-  /// Drive the session to the end in one call (the one-shot path).
+  /// Drive the session to the end in one call (the one-shot path). Safe to
+  /// call on an already-finished session (it is then a no-op).
   void run_to_completion();
+
+  /// Snapshot the session at the current advance() boundary. The blob holds
+  /// configuration + progress + integrity cursors (see
+  /// session_checkpoint.hpp); restore() replays deterministically. Valid at
+  /// any boundary, including before the first advance() and after done().
+  SessionCheckpoint checkpoint() const;
+
+  /// Resurrect a session from a checkpoint by constructing it fresh and
+  /// replaying up to the recorded boundary, then cross-checking every
+  /// progress cursor. Throws CheckpointError if the replay does not land
+  /// bit-exactly on the recorded state (wrong profile/models for the blob,
+  /// or a tampered blob that survived the digest). `profile`/`models` must
+  /// be the ones named by `ckpt.benchmark` — the caller resolves them
+  /// through its model cache; blobs do not carry weights.
+  static std::unique_ptr<DetectionSession> restore(
+      const SessionCheckpoint& ckpt, const workloads::SpecProfile& profile,
+      const TrainedModels& models);
+
+  /// Simulated time re-executed by restore() to reach the checkpoint
+  /// boundary (zero for sessions that were never restored). The serve layer
+  /// aggregates this as serve.recovery_replay_ps.
+  sim::Picoseconds replayed_ps() const noexcept { return replayed_ps_; }
 
   bool done() const noexcept { return phase_ == Phase::kDone; }
 
@@ -74,8 +112,11 @@ class DetectionSession {
   /// The assembled SoC (module probes, exactly like the one-shot drivers).
   RtadSoc& soc() noexcept { return *soc_; }
 
-  /// Final result; throws std::logic_error unless done(). Counter harvest
-  /// and any trace/metrics export happen once, when the last phase ends.
+  /// Final result; throws SessionLifecycleError unless done(), and again on
+  /// a second harvest (the result is a one-shot handoff — double harvest in
+  /// the serve layer means two outcomes claimed one episode). Counter
+  /// harvest and any trace/metrics export happen once, when the last phase
+  /// ends.
   const DetectionResult& result() const;
 
  private:
@@ -123,6 +164,8 @@ class DetectionSession {
   std::uint64_t score_digest_ = 14695981039346656037ULL;  ///< FNV-1a basis
   sim::Sampler latency_us_;
 
+  sim::Picoseconds replayed_ps_ = 0;  ///< set by restore()
+  mutable bool result_taken_ = false;
   DetectionResult result_;
 };
 

@@ -1,0 +1,252 @@
+#include "rtad/core/session_checkpoint.hpp"
+
+#include <cstring>
+
+namespace rtad::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = kFnvBasis;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int s = 0; s < 32; s += 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> s));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int s = 0; s < 64; s += 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> s));
+    }
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  std::vector<std::uint8_t> finish() && {
+    const std::uint64_t digest = fnv1a(bytes_.data(), bytes_.size());
+    u64(digest);
+    return std::move(bytes_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int s = 0; s < 32; s += 8) {
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << s;
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int s = 0; s < 64; s += 8) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << s;
+    }
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) {
+      throw CheckpointError("SessionCheckpoint: truncated blob");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+void write_fault_plan(Writer& w, const fault::FaultPlan& plan) {
+  for (const double r : plan.rates) w.f64(r);
+  w.u32(plan.truncate_bytes);
+  w.u32(plan.stall_cycles);
+  w.u32(plan.bus_delay_cycles);
+  w.u64(plan.fifo_squeeze);
+  w.u64(plan.watchdog_cycles);
+  w.u8(plan.igm_drop_resync ? 1 : 0);
+  w.u8(plan.mcm_drop_oldest ? 1 : 0);
+  w.u64(plan.seed);
+  w.f64(plan.serve.shard_crash);
+  w.f64(plan.serve.lane_wedge);
+  w.f64(plan.serve.brownout);
+  w.u64(plan.serve.crash_epoch_us);
+  w.u64(plan.serve.crash_downtime_us);
+  w.u64(plan.serve.wedge_us);
+  w.u64(plan.serve.brownout_us);
+  w.u64(plan.serve.horizon_us);
+  w.u32(plan.serve.max_events);
+}
+
+fault::FaultPlan read_fault_plan(Reader& r) {
+  fault::FaultPlan plan;
+  for (double& rate : plan.rates) rate = r.f64();
+  plan.truncate_bytes = r.u32();
+  plan.stall_cycles = r.u32();
+  plan.bus_delay_cycles = r.u32();
+  plan.fifo_squeeze = static_cast<std::size_t>(r.u64());
+  plan.watchdog_cycles = r.u64();
+  plan.igm_drop_resync = r.u8() != 0;
+  plan.mcm_drop_oldest = r.u8() != 0;
+  plan.seed = r.u64();
+  plan.serve.shard_crash = r.f64();
+  plan.serve.lane_wedge = r.f64();
+  plan.serve.brownout = r.f64();
+  plan.serve.crash_epoch_us = r.u64();
+  plan.serve.crash_downtime_us = r.u64();
+  plan.serve.wedge_us = r.u64();
+  plan.serve.brownout_us = r.u64();
+  plan.serve.horizon_us = r.u64();
+  plan.serve.max_events = r.u32();
+  return plan;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SessionCheckpoint::serialize() const {
+  Writer w;
+  for (std::size_t i = 0; i < 8; ++i) {
+    w.u8(static_cast<std::uint8_t>(kMagic[i]));
+  }
+  w.str(benchmark);
+  w.u8(static_cast<std::uint8_t>(model));
+  w.u8(static_cast<std::uint8_t>(engine));
+
+  w.u64(options.attacks);
+  w.u32(options.burst_events);
+  w.u64(options.attack_deadline_ps);
+  w.u64(options.attribution_window_ps);
+  w.u64(options.seed);
+  w.u64(options.elm_syscall_interval_cap);
+  w.u8(static_cast<std::uint8_t>(options.sched));
+  w.u8(static_cast<std::uint8_t>(options.backend));
+  w.u8(static_cast<std::uint8_t>(options.proto));
+  w.u8(options.cycle_accounts ? 1 : 0);
+  w.str(options.trace_path);
+  w.str(options.metrics_path);
+  w.u8(options.faults.has_value() ? 1 : 0);
+  if (options.faults.has_value()) write_fault_plan(w, *options.faults);
+
+  w.u64(progress_ps);
+  w.u64(score_digest);
+  w.u64(anomaly_flags);
+  w.u64(inferences);
+  w.u64(irqs_fired);
+  w.u64(attacks_completed);
+  w.u64(false_positives);
+  w.u8(phase);
+  w.u8(done ? 1 : 0);
+  return std::move(w).finish();
+}
+
+SessionCheckpoint SessionCheckpoint::parse(const std::uint8_t* data,
+                                           std::size_t size) {
+  if (size < 16) {
+    throw CheckpointError("SessionCheckpoint: blob too short");
+  }
+  // Digest covers everything before its own 8 bytes.
+  const std::uint64_t recorded = [&] {
+    std::uint64_t v = 0;
+    for (int s = 0; s < 64; s += 8) {
+      v |= static_cast<std::uint64_t>(data[size - 8 + s / 8]) << s;
+    }
+    return v;
+  }();
+  if (fnv1a(data, size - 8) != recorded) {
+    throw CheckpointError("SessionCheckpoint: digest mismatch");
+  }
+
+  Reader r(data, size - 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (r.u8() != static_cast<std::uint8_t>(kMagic[i])) {
+      throw CheckpointError("SessionCheckpoint: bad magic/version");
+    }
+  }
+
+  SessionCheckpoint ckpt;
+  ckpt.benchmark = r.str();
+  ckpt.model = static_cast<ModelKind>(r.u8());
+  ckpt.engine = static_cast<EngineKind>(r.u8());
+
+  ckpt.options.attacks = static_cast<std::size_t>(r.u64());
+  ckpt.options.burst_events = r.u32();
+  ckpt.options.attack_deadline_ps = r.u64();
+  ckpt.options.attribution_window_ps = r.u64();
+  ckpt.options.seed = r.u64();
+  ckpt.options.elm_syscall_interval_cap = r.u64();
+  ckpt.options.sched = static_cast<sim::SchedMode>(r.u8());
+  ckpt.options.backend = static_cast<gpgpu::GpuBackend>(r.u8());
+  ckpt.options.proto = static_cast<trace::TraceProtocol>(r.u8());
+  ckpt.options.cycle_accounts = r.u8() != 0;
+  ckpt.options.trace_path = r.str();
+  ckpt.options.metrics_path = r.str();
+  if (r.u8() != 0) {
+    ckpt.options.faults = read_fault_plan(r);
+  } else {
+    ckpt.options.faults.reset();
+  }
+
+  ckpt.progress_ps = r.u64();
+  ckpt.score_digest = r.u64();
+  ckpt.anomaly_flags = r.u64();
+  ckpt.inferences = r.u64();
+  ckpt.irqs_fired = r.u64();
+  ckpt.attacks_completed = r.u64();
+  ckpt.false_positives = r.u64();
+  ckpt.phase = r.u8();
+  ckpt.done = r.u8() != 0;
+  if (r.remaining() != 0) {
+    throw CheckpointError("SessionCheckpoint: trailing bytes");
+  }
+  return ckpt;
+}
+
+}  // namespace rtad::core

@@ -116,6 +116,24 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
       plan.mcm_drop_oldest = parse_bool(key, value);
     } else if (key == "seed") {
       plan.seed = parse_u64(key, value);
+    } else if (key == "serve.shard_crash") {
+      plan.serve.shard_crash = parse_rate(key, value);
+    } else if (key == "serve.lane_wedge") {
+      plan.serve.lane_wedge = parse_rate(key, value);
+    } else if (key == "serve.brownout") {
+      plan.serve.brownout = parse_rate(key, value);
+    } else if (key == "serve.crash_epoch_us") {
+      plan.serve.crash_epoch_us = parse_u64(key, value);
+    } else if (key == "serve.crash_downtime_us") {
+      plan.serve.crash_downtime_us = parse_u64(key, value);
+    } else if (key == "serve.wedge_us") {
+      plan.serve.wedge_us = parse_u64(key, value);
+    } else if (key == "serve.brownout_us") {
+      plan.serve.brownout_us = parse_u64(key, value);
+    } else if (key == "serve.horizon_us") {
+      plan.serve.horizon_us = parse_u64(key, value);
+    } else if (key == "serve.max_events") {
+      plan.serve.max_events = static_cast<std::uint32_t>(parse_u64(key, value));
     } else {
       throw std::invalid_argument("RTAD_FAULTS: unknown key '" + key + "'");
     }

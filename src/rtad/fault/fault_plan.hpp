@@ -16,6 +16,16 @@
 // Parameter keys:
 //   trace.truncate_bytes  mcm.stall_cycles  mcm.watchdog  bus.delay_cycles
 //   fifo.squeeze  igm.drop_resync  mcm.drop_oldest  seed
+//
+// The serve.* keys describe fleet-level faults (whole-shard crashes, lane
+// wedges, admission brownouts). They are carried on the same plan so one
+// RTAD_FAULTS spec configures both fault domains, but they are consumed by
+// the serving layer only: FaultPlan::any() deliberately ignores them, so a
+// serve-faults-only plan never constructs a SoC FaultInjector and every
+// DetectionSession stays byte-identical to a fault-free run.
+//   serve.shard_crash  serve.lane_wedge  serve.brownout   (per-epoch rates)
+//   serve.crash_epoch_us  serve.crash_downtime_us  serve.wedge_us
+//   serve.brownout_us  serve.horizon_us  serve.max_events  (parameters)
 #pragma once
 
 #include <array>
@@ -45,6 +55,34 @@ inline constexpr std::size_t kFaultSiteCount = 9;
 
 const char* to_string(FaultSite site) noexcept;
 
+/// Fleet-level fault sites consumed by the serving layer (src/rtad/serve/).
+/// Rates are per-epoch Bernoulli probabilities per shard; each (site, shard)
+/// pair draws from its own seeded RNG stream, so fault schedules are a pure
+/// function of (plan seed, shard id) — identical across RTAD_JOBS and both
+/// scheduler kernels, and independent of arrival order.
+struct ServeFaultPlan {
+  double shard_crash = 0.0;  ///< whole-shard crash: lanes lost, queue flushed
+  double lane_wedge = 0.0;   ///< one lane stops making progress for a while
+  double brownout = 0.0;     ///< admission refuses offers for a window
+
+  std::uint64_t crash_epoch_us = 20'000;    ///< epoch length for all draws
+  std::uint64_t crash_downtime_us = 8'000;  ///< shard outage after a crash
+  std::uint64_t wedge_us = 4'000;           ///< lane unavailable per wedge
+  std::uint64_t brownout_us = 2'000;        ///< admission refusal window
+  /// Events are drawn eagerly over [0, horizon_us) of fleet time so the
+  /// schedule exists before any session runs (and is therefore independent
+  /// of execution order).
+  std::uint64_t horizon_us = 1'000'000;
+  std::uint32_t max_events = 4;  ///< cap per (site, shard)
+
+  /// True when any fleet-level site can fire. The serving layer only builds
+  /// schedules/recovery machinery when this holds, so a plain plan leaves
+  /// the fleet byte-identical to the pre-failover service.
+  bool any() const noexcept {
+    return shard_crash > 0.0 || lane_wedge > 0.0 || brownout > 0.0;
+  }
+};
+
 struct FaultPlan {
   /// Per-site fault probabilities, indexed by FaultSite. A rate of 0 means
   /// the site never draws from its RNG stream at all.
@@ -65,6 +103,8 @@ struct FaultPlan {
   bool mcm_drop_oldest = false;
   /// Base seed of the per-site RNG streams (combined with a per-SoC salt).
   std::uint64_t seed = 0xFA017;
+  /// Fleet-level fault sites (see above). Ignored by the SoC layers.
+  ServeFaultPlan serve{};
 
   double rate(FaultSite site) const noexcept {
     return rates[static_cast<std::size_t>(site)];
@@ -73,9 +113,11 @@ struct FaultPlan {
     rates[static_cast<std::size_t>(site)] = r;
   }
 
-  /// True when the plan perturbs anything at all. An injector is only
-  /// constructed (and recovery-policy overrides applied) when any() holds,
-  /// so an all-zero plan is byte-identical to running with no plan.
+  /// True when the plan perturbs the SoC pipeline at all. An injector is
+  /// only constructed (and recovery-policy overrides applied) when any()
+  /// holds, so an all-zero plan is byte-identical to running with no plan.
+  /// The serve.* sites are deliberately excluded: they fault the fleet, not
+  /// the SoC, so a serve-only plan keeps every session byte-identical.
   bool any() const noexcept;
 
   /// Parse a comma-separated key=value spec (the RTAD_FAULTS grammar).

@@ -42,7 +42,28 @@ struct AdmissionConfig {
   /// Occupancy (inclusive) at which kDegrade starts downgrading admitted
   /// sessions. 0 resolves to max(1, queue_capacity / 2).
   std::size_t degrade_watermark = 0;
+  /// Re-offers granted to a refused request before it finally sheds. The
+  /// default 0 keeps the legacy one-shot drop (and the legacy byte-identity
+  /// surface); the shard owns the clock, so it schedules the re-offer at
+  /// refusal time + retry_delay().
+  std::size_t retry_budget = 0;
+  /// Exponential backoff base for re-offers, simulated microseconds.
+  std::uint64_t retry_base_us = 500;
+  /// Stream seed for the per-(ticket, attempt) backoff jitter.
+  std::uint64_t retry_seed = 0x5EEDD;
 };
+
+/// Deterministic seeded-jitter backoff: exponential in the attempt number
+/// (capped), plus a jitter drawn from a stream keyed by (seed, ticket,
+/// attempt). A pure function of its arguments — two shards, two worker
+/// counts, or two retry orderings compute the identical delay — which is
+/// what makes retry scheduling replayable. Jitter de-synchronizes the
+/// herd: sessions shed by the same brownout re-offer at distinct instants
+/// instead of stampeding the queue in lockstep (the overload-shed
+/// unfairness the one-shot drop had).
+sim::Picoseconds retry_backoff_ps(std::uint64_t seed, std::uint64_t ticket,
+                                  std::size_t attempt,
+                                  std::uint64_t base_us);
 
 class AdmissionController {
  public:
@@ -65,11 +86,25 @@ class AdmissionController {
   std::size_t depth() const noexcept { return queue_.size(); }
   const SessionRequest& head() const { return queue_.front(); }
 
+  /// True when a request refused now is entitled to another offer.
+  bool retry_allowed(const SessionRequest& req) const noexcept {
+    return req.attempts < cfg_.retry_budget;
+  }
+  /// Backoff for the request's next re-offer (attempt numbers start at 1).
+  sim::Picoseconds retry_delay(std::uint64_t ticket,
+                               std::size_t attempt) const {
+    return retry_backoff_ps(cfg_.retry_seed, ticket, attempt,
+                            cfg_.retry_base_us);
+  }
+  /// Count one scheduled re-offer (the serve.sessions_retried counter).
+  void record_retry() noexcept { ++retried_; }
+
   const AdmissionConfig& config() const noexcept { return cfg_; }
   std::uint64_t offered() const noexcept { return offered_; }
   std::uint64_t admitted() const noexcept { return admitted_; }
   std::uint64_t shed() const noexcept { return shed_; }
   std::uint64_t degraded() const noexcept { return degraded_; }
+  std::uint64_t retried() const noexcept { return retried_; }
   /// Depth seen by each arrival (sampled before its own admission).
   const sim::Sampler& depth_seen() const noexcept { return depth_seen_; }
   /// Deepest ingress occupancy ever reached.
@@ -84,6 +119,7 @@ class AdmissionController {
   std::uint64_t admitted_ = 0;
   std::uint64_t shed_ = 0;
   std::uint64_t degraded_ = 0;
+  std::uint64_t retried_ = 0;
   sim::Sampler depth_seen_;
 };
 

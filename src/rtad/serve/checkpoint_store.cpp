@@ -1,0 +1,37 @@
+#include "rtad/serve/checkpoint_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rtad::serve {
+
+void CheckpointStore::put(std::uint64_t ticket, std::vector<std::uint8_t> blob,
+                          sim::Picoseconds parked_at) {
+  ++parks_;
+  blob_bytes_.record(static_cast<double>(blob.size()));
+  auto it = entries_.find(ticket);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.blob.size();
+    entries_.erase(it);
+  }
+  if (cap_bytes_ != 0 && bytes_ + blob.size() > cap_bytes_) {
+    ++evictions_;
+    blob.clear();
+    blob.shrink_to_fit();
+  }
+  bytes_ += blob.size();
+  bytes_hwm_ = std::max(bytes_hwm_, bytes_);
+  entries_.emplace(ticket, Entry{std::move(blob), parked_at});
+}
+
+std::optional<CheckpointStore::Entry> CheckpointStore::take(
+    std::uint64_t ticket) {
+  auto it = entries_.find(ticket);
+  if (it == entries_.end()) return std::nullopt;
+  Entry entry = std::move(it->second);
+  bytes_ -= entry.blob.size();
+  entries_.erase(it);
+  return entry;
+}
+
+}  // namespace rtad::serve

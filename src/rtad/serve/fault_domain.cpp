@@ -1,0 +1,101 @@
+#include "rtad/serve/fault_domain.hpp"
+
+#include <algorithm>
+
+#include "rtad/sim/rng.hpp"
+
+namespace rtad::serve {
+
+namespace {
+
+/// Serve-site identifiers for stream separation (disjoint from the SoC's
+/// FaultSite space by construction: different mixing below).
+enum class ServeSite : std::uint64_t { kCrash = 0, kWedge = 1, kBrownout = 2 };
+
+sim::Xoshiro256 make_stream(std::uint64_t seed, ServeSite site,
+                            std::size_t shard_id) {
+  // Same stream-splitting construction as fault::FaultInjector: golden-ratio
+  // and splitmix increments keep (site, shard) streams statistically
+  // independent of each other and of the SoC-level streams.
+  return sim::Xoshiro256(seed +
+                         0x9E3779B97F4A7C15ULL *
+                             (static_cast<std::uint64_t>(site) + 11) +
+                         0xBF58476D1CE4E5B9ULL * (shard_id + 1));
+}
+
+/// Walk fixed epochs over [0, horizon), drawing at most one event per epoch
+/// with probability `rate`, placed uniformly inside its epoch. Every epoch
+/// consumes the same number of stream draws whether or not it fires, so an
+/// event landing (or not) never shifts later events.
+template <typename Emit>
+void epoch_walk(sim::Xoshiro256& rng, double rate, std::uint64_t epoch_us,
+                std::uint64_t horizon_us, std::uint32_t max_events,
+                Emit&& emit) {
+  if (rate <= 0.0 || epoch_us == 0 || max_events == 0) return;
+  std::uint32_t fired = 0;
+  for (std::uint64_t start = 0; start < horizon_us; start += epoch_us) {
+    const bool fire = rng.chance(rate);
+    const std::uint64_t offset = rng.uniform_below(epoch_us);
+    if (fire) {
+      emit((start + offset) * sim::kPsPerUs);
+      if (++fired >= max_events) return;
+    }
+  }
+}
+
+}  // namespace
+
+bool ShardFaultSchedule::in_brownout(sim::Picoseconds at) const noexcept {
+  for (const Window& w : brownouts) {
+    if (at >= w.begin && at < w.end) return true;
+    if (at < w.begin) break;  // sorted; nothing later can contain `at`
+  }
+  return false;
+}
+
+ShardFaultSchedule build_shard_schedule(const fault::ServeFaultPlan& plan,
+                                        std::uint64_t seed,
+                                        std::size_t shard_id,
+                                        std::size_t lanes) {
+  ShardFaultSchedule sched;
+  if (!plan.any()) return sched;
+  sched.crash_downtime_ps = plan.crash_downtime_us * sim::kPsPerUs;
+  sched.wedge_ps = plan.wedge_us * sim::kPsPerUs;
+
+  {
+    auto rng = make_stream(seed, ServeSite::kCrash, shard_id);
+    epoch_walk(rng, plan.shard_crash, plan.crash_epoch_us, plan.horizon_us,
+               plan.max_events,
+               [&](sim::Picoseconds at) { sched.crashes.push_back(at); });
+  }
+  {
+    auto rng = make_stream(seed, ServeSite::kWedge, shard_id);
+    epoch_walk(rng, plan.lane_wedge, plan.crash_epoch_us, plan.horizon_us,
+               plan.max_events, [&](sim::Picoseconds at) {
+                 sched.wedges.push_back(
+                     {at, static_cast<std::size_t>(rng.uniform_below(
+                              lanes == 0 ? 1 : lanes))});
+               });
+  }
+  {
+    auto rng = make_stream(seed, ServeSite::kBrownout, shard_id);
+    epoch_walk(rng, plan.brownout, plan.crash_epoch_us, plan.horizon_us,
+               plan.max_events, [&](sim::Picoseconds at) {
+                 sched.brownouts.push_back(
+                     {at, at + plan.brownout_us * sim::kPsPerUs});
+               });
+  }
+  // Epoch walks emit in time order already; keep the sort as a contract.
+  std::sort(sched.crashes.begin(), sched.crashes.end());
+  std::sort(sched.wedges.begin(), sched.wedges.end(),
+            [](const ShardFaultSchedule::Wedge& a,
+               const ShardFaultSchedule::Wedge& b) { return a.at < b.at; });
+  std::sort(sched.brownouts.begin(), sched.brownouts.end(),
+            [](const ShardFaultSchedule::Window& a,
+               const ShardFaultSchedule::Window& b) {
+              return a.begin < b.begin;
+            });
+  return sched;
+}
+
+}  // namespace rtad::serve

@@ -1,0 +1,72 @@
+// Fleet-level fault schedules for the serving layer.
+//
+// The SoC fault injector (PR 3) draws per-datum Bernoulli decisions as data
+// flows; the serve fault domain cannot do that, because shard execution
+// order depends on RTAD_JOBS and the retry/failover machinery itself. So
+// schedules are *eager*: build_shard_schedule() walks fixed epochs over
+// [0, horizon_us) of fleet time and draws every crash, wedge, and brownout
+// up front from per-(site, shard) RNG streams. The schedule is a pure
+// function of (seed, shard id, lane count) — it exists before any session
+// runs, so which faults fire and when is identical across worker counts,
+// scheduler kernels, and arrival orderings. Execution merely *observes* the
+// schedule: events that fall after the last arrival drains simply never
+// matter.
+//
+// Sites and their effects (consumed by Shard::run):
+//   * crash     — the whole shard dies at crashes[i]: the ingress queue is
+//                 flushed (queued sessions re-offered elsewhere), in-flight
+//                 sessions are orphaned at their last checkpoint, and every
+//                 lane is down until crashes[i] + crash_downtime.
+//   * wedge     — one lane stops making progress at wedges[i].at for
+//                 wedge_ps; a session on that lane parks to its checkpoint
+//                 and re-offers on the same shard.
+//   * brownout  — admission refuses every offer inside the window; refused
+//                 offers take the seeded-jitter retry path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rtad/fault/fault_plan.hpp"
+#include "rtad/sim/time.hpp"
+
+namespace rtad::serve {
+
+/// One shard's precomputed fault timeline (fleet-clock picoseconds, each
+/// event list sorted ascending).
+struct ShardFaultSchedule {
+  struct Wedge {
+    sim::Picoseconds at = 0;
+    std::size_t lane = 0;
+  };
+  struct Window {
+    sim::Picoseconds begin = 0;
+    sim::Picoseconds end = 0;  ///< exclusive
+  };
+
+  std::vector<sim::Picoseconds> crashes;
+  std::vector<Wedge> wedges;
+  std::vector<Window> brownouts;
+
+  sim::Picoseconds crash_downtime_ps = 0;
+  sim::Picoseconds wedge_ps = 0;
+
+  bool empty() const noexcept {
+    return crashes.empty() && wedges.empty() && brownouts.empty();
+  }
+
+  /// True when `at` falls inside a brownout window.
+  bool in_brownout(sim::Picoseconds at) const noexcept;
+};
+
+/// Draw the full fault timeline for one shard. Each site draws from its own
+/// stream keyed by (seed, site, shard), so enabling one site never shifts
+/// another site's events — the same per-site stream discipline as the SoC
+/// FaultInjector.
+ShardFaultSchedule build_shard_schedule(const fault::ServeFaultPlan& plan,
+                                        std::uint64_t seed,
+                                        std::size_t shard_id,
+                                        std::size_t lanes);
+
+}  // namespace rtad::serve

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "rtad/core/env.hpp"
+#include "rtad/fault/fault_plan.hpp"
 #include "rtad/obs/json.hpp"
 
 namespace rtad::serve {
@@ -34,6 +35,23 @@ ServiceConfig ServiceConfig::from_env() {
                    : OverloadPolicy::kDegrade;
   cfg.quantum_ps =
       core::env::positive_or("RTAD_SERVE_QUANTUM_US", 2'000) * sim::kPsPerUs;
+  cfg.retry_budget = static_cast<std::size_t>(
+      core::env::u64_or("RTAD_SERVE_RETRY", cfg.retry_budget));
+  cfg.retry_base_us =
+      core::env::positive_or("RTAD_SERVE_RETRY_BASE_US", cfg.retry_base_us);
+  cfg.checkpoint_every = core::env::positive_or("RTAD_SERVE_CHECKPOINT_EVERY",
+                                                cfg.checkpoint_every);
+  cfg.checkpoint_cap_kb =
+      core::env::u64_or("RTAD_SERVE_CHECKPOINT_CAP_KB", cfg.checkpoint_cap_kb);
+  cfg.rebalance_gap_ps =
+      core::env::positive_or("RTAD_SERVE_REBALANCE_GAP_US", 40'000) *
+      sim::kPsPerUs;
+  cfg.migrate_ps =
+      core::env::positive_or("RTAD_SERVE_MIGRATE_US", 200) * sim::kPsPerUs;
+  if (const auto& plan = fault::default_plan()) {
+    cfg.serve_faults = plan->serve;
+    cfg.fault_seed = plan->seed;
+  }
   const std::string proto = core::env::choice_or(
       "RTAD_SERVE_PROTO", {"pft", "etrace", "mixed"},
       fleet_protocol_name(cfg.proto));
@@ -60,6 +78,7 @@ Service::Service(ServiceConfig cfg,
 ServiceReport Service::run(std::vector<SessionRequest> requests) {
   for (std::size_t i = 0; i < requests.size(); ++i) {
     requests[i].ticket = i;
+    requests[i].origin_arrival_ps = requests[i].arrival_ps;
     switch (cfg_.proto) {
       case FleetProtocol::kPft:
         requests[i].proto = trace::TraceProtocol::kPft;
@@ -77,8 +96,15 @@ ServiceReport Service::run(std::vector<SessionRequest> requests) {
   scfg.lanes = cfg_.lanes;
   scfg.admission.queue_capacity = cfg_.queue_capacity;
   scfg.admission.policy = cfg_.policy;
+  scfg.admission.retry_budget = cfg_.retry_budget;
+  scfg.admission.retry_base_us = cfg_.retry_base_us;
+  scfg.admission.retry_seed = cfg_.fault_seed;
   scfg.quantum_ps = cfg_.quantum_ps;
   scfg.detection = cfg_.detection;
+  scfg.serve_faults = cfg_.serve_faults;
+  scfg.fault_seed = cfg_.fault_seed;
+  scfg.checkpoint_every = cfg_.checkpoint_every;
+  scfg.checkpoint_cap_bytes = cfg_.checkpoint_cap_kb * 1024;
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(cfg_.shards);
   for (std::size_t s = 0; s < cfg_.shards; ++s) {
@@ -88,23 +114,86 @@ ServiceReport Service::run(std::vector<SessionRequest> requests) {
     shards[shard_of(req.tenant)]->enqueue(std::move(req));
   }
 
-  // One pool task per shard; futures collected in shard-index order, so
-  // the merged report is byte-identical for any worker count.
-  std::vector<std::future<std::vector<SessionOutcome>>> futures;
-  futures.reserve(shards.size());
-  for (auto& shard : shards) {
-    futures.push_back(pool_.submit([&s = *shard] { return s.run(); }));
-  }
-
   ServiceReport rep;
   rep.outcomes.reserve(requests.size());
+
+  // Round loop. Round 0 replays the offered schedule; each later round
+  // replays the re-offers born from the previous round's crashes. Shards
+  // run whole on one pool task each, futures are collected in shard-index
+  // order, and the inter-round orphan routing is single-threaded over a
+  // canonically sorted list — so the merged report is byte-identical for
+  // any worker count. Rounds are bounded: every crash/wedge fires at most
+  // once, so orphans cannot regenerate forever (the cap is a backstop).
+  constexpr std::size_t kMaxRounds = 16;
+  for (std::size_t round = 0;; ++round) {
+    std::vector<std::future<std::vector<SessionOutcome>>> futures;
+    futures.reserve(shards.size());
+    for (auto& shard : shards) {
+      futures.push_back(pool_.submit([&s = *shard] { return s.run(); }));
+    }
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      auto outcomes = futures[s].get();
+      for (auto& o : outcomes) rep.outcomes.push_back(std::move(o));
+    }
+    std::vector<FailoverItem> orphans;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      auto items = shards[s]->take_failover();
+      for (auto& item : items) orphans.push_back(std::move(item));
+    }
+    if (orphans.empty()) break;
+    if (round + 1 >= kMaxRounds) {
+      // Backstop: a fleet that cannot absorb its orphans sheds them
+      // honestly rather than looping.
+      for (auto& item : orphans) {
+        SessionOutcome o;
+        o.request = std::move(item.request);
+        o.shed = true;
+        rep.outcomes.push_back(std::move(o));
+      }
+      break;
+    }
+    ++rep.failover_rounds;
+    std::sort(orphans.begin(), orphans.end(),
+              [](const FailoverItem& a, const FailoverItem& b) {
+                return a.orphaned_ps != b.orphaned_ps
+                           ? a.orphaned_ps < b.orphaned_ps
+                           : a.request.ticket < b.request.ticket;
+              });
+    for (auto& item : orphans) {
+      // Default target: the next shard on the ring (the crashed shard is
+      // down; its ring successor is the conventional heir). The rebalancer
+      // overrides it when the heir is already hot: parked sessions are the
+      // cheapest thing in the fleet to move, so they migrate to the
+      // coolest shard at the cost of one blob transfer.
+      std::size_t target = (item.from_shard + 1) % shards.size();
+      std::size_t coolest = 0;
+      for (std::size_t s = 1; s < shards.size(); ++s) {
+        if (shards[s]->horizon() < shards[coolest]->horizon()) coolest = s;
+      }
+      sim::Picoseconds migrate_cost = 0;
+      if (target != coolest && shards[target]->horizon() >
+                                   shards[coolest]->horizon() +
+                                       cfg_.rebalance_gap_ps) {
+        target = coolest;
+        migrate_cost = cfg_.migrate_ps;
+        ++rep.migrations;
+      }
+      SessionRequest req = std::move(item.request);
+      req.arrival_ps = item.orphaned_ps + migrate_cost +
+                       retry_backoff_ps(cfg_.fault_seed, req.ticket,
+                                        req.attempts, cfg_.retry_base_us);
+      if (!item.blob.empty()) {
+        shards[target]->stage_parked(req.ticket, std::move(item.blob),
+                                     item.orphaned_ps);
+      }
+      shards[target]->enqueue(std::move(req));
+    }
+  }
+
   for (std::size_t s = 0; s < shards.size(); ++s) {
-    auto outcomes = futures[s].get();
-    for (auto& o : outcomes) rep.outcomes.push_back(std::move(o));
     const ShardStats& st = shards[s]->stats();
     rep.sessions_offered += st.offered;
     rep.sessions_admitted += st.admitted;
-    rep.sessions_shed += st.shed;
     rep.sessions_degraded += st.degraded;
     rep.degraded_inferences += st.degraded_inferences;
     rep.sessions_completed += st.completed;
@@ -113,6 +202,19 @@ ServiceReport Service::run(std::vector<SessionRequest> requests) {
     rep.queue_depth.merge(st.queue_depth);
     rep.queue_high_watermark =
         std::max(rep.queue_high_watermark, st.queue_high_watermark);
+    rep.shard_crashes += st.crashes;
+    rep.lane_wedges += st.wedges;
+    rep.brownout_refusals += st.brownout_refusals;
+    rep.sessions_recovered += st.recovered;
+    rep.sessions_parked += st.parked;
+    rep.sessions_retried += st.retried;
+    rep.queue_flushed += st.queue_flushed;
+    rep.checkpoints += st.checkpoints;
+    rep.checkpoint_evictions += st.checkpoint_evictions;
+    rep.recovery_replay_ps += st.replay_ps;
+    rep.parked_bytes_hwm = std::max(rep.parked_bytes_hwm, st.parked_bytes_hwm);
+    rep.checkpoint_bytes.merge(st.checkpoint_bytes);
+    rep.recovery_latency_us.merge(st.recovery_latency_us);
   }
   std::sort(rep.outcomes.begin(), rep.outcomes.end(),
             [](const SessionOutcome& a, const SessionOutcome& b) {
@@ -125,11 +227,15 @@ ServiceReport Service::run(std::vector<SessionRequest> requests) {
                         : rep.batch;
     ++slo.offered;
     if (o.shed) {
+      // Shed *sessions* (not shed offers: a retried request can be refused
+      // several times but sheds at most once).
+      ++rep.sessions_shed;
       ++slo.shed;
       continue;
     }
     ++slo.completed;
     if (o.degraded) ++slo.degraded;
+    if (o.recovered) ++slo.recovered;
     slo.sojourn_us.record(sim::to_us(o.sojourn_ps));
   }
   return rep;
@@ -137,13 +243,16 @@ ServiceReport Service::run(std::vector<SessionRequest> requests) {
 
 namespace {
 
-void write_class(obs::JsonWriter& json, const char* name,
-                 const ClassSlo& slo) {
+void write_class(obs::JsonWriter& json, const char* name, const ClassSlo& slo,
+                 bool failure_domain) {
   json.key(name).begin_object();
   json.field("offered", slo.offered);
   json.field("completed", slo.completed);
   json.field("shed", slo.shed);
   json.field("degraded", slo.degraded);
+  // Per-class recovery impact exists only when the failure domain is
+  // active: the legacy document stays byte-identical otherwise.
+  if (failure_domain) json.field("recovered", slo.recovered);
   json.key("sojourn_us").begin_object();
   json.field("count", static_cast<std::uint64_t>(slo.sojourn_us.count()));
   json.field("mean", slo.sojourn_us.mean());
@@ -190,6 +299,43 @@ void write_serve_report(obs::JsonWriter& json, const ServiceConfig& cfg,
   json.field("serve.sessions_pft", report.sessions_pft);
   json.field("serve.sessions_etrace", report.sessions_etrace);
   json.end_object();
+  // The failure-domain section exists only when the fleet can actually
+  // fault or retry — a plain configuration emits the exact legacy document.
+  const bool failure_domain =
+      cfg.serve_faults.any() || cfg.retry_budget > 0;
+  if (failure_domain) {
+    json.key("failure").begin_object();
+    json.field("retry_budget", static_cast<std::uint64_t>(cfg.retry_budget));
+    json.field("checkpoint_every", cfg.checkpoint_every);
+    json.field("serve.shard_crashes", report.shard_crashes);
+    json.field("serve.lane_wedges", report.lane_wedges);
+    json.field("serve.brownout_refusals", report.brownout_refusals);
+    json.field("serve.sessions_recovered", report.sessions_recovered);
+    json.field("serve.sessions_parked", report.sessions_parked);
+    json.field("serve.sessions_retried", report.sessions_retried);
+    json.field("serve.queue_flushed", report.queue_flushed);
+    json.field("serve.migrations", report.migrations);
+    json.field("serve.checkpoints", report.checkpoints);
+    json.field("serve.checkpoint_evictions", report.checkpoint_evictions);
+    json.field("serve.failover_rounds", report.failover_rounds);
+    json.field("serve.recovery_replay_ps", report.recovery_replay_ps);
+    json.key("checkpoint_bytes").begin_object();
+    json.field("samples",
+               static_cast<std::uint64_t>(report.checkpoint_bytes.count()));
+    json.field("mean", report.checkpoint_bytes.mean());
+    json.field("max", report.checkpoint_bytes.max());
+    json.field("parked_high_watermark", report.parked_bytes_hwm);
+    json.end_object();
+    json.key("recovery_latency_us").begin_object();
+    json.field("count",
+               static_cast<std::uint64_t>(report.recovery_latency_us.count()));
+    json.field("mean", report.recovery_latency_us.mean());
+    json.field("p50", report.recovery_latency_us.percentile(50.0));
+    json.field("p99", report.recovery_latency_us.percentile(99.0));
+    json.field("max", report.recovery_latency_us.max());
+    json.end_object();
+    json.end_object();
+  }
   json.key("ingress_depth").begin_object();
   json.field("samples",
              static_cast<std::uint64_t>(report.queue_depth.count()));
@@ -199,8 +345,8 @@ void write_serve_report(obs::JsonWriter& json, const ServiceConfig& cfg,
              static_cast<std::uint64_t>(report.queue_high_watermark));
   json.end_object();
   json.key("classes").begin_object();
-  write_class(json, "interactive", report.interactive);
-  write_class(json, "batch", report.batch);
+  write_class(json, "interactive", report.interactive, failure_domain);
+  write_class(json, "batch", report.batch, failure_domain);
   json.end_object();
   json.end_object();
 }

@@ -9,6 +9,17 @@
 // order, which keeps every observable (outcomes, SLO report, the
 // rtad.serve.v1 JSON) byte-identical for any RTAD_JOBS.
 //
+// When the fault plan (RTAD_FAULTS serve.* keys) is active, run() becomes a
+// round loop: shards replay their schedules in parallel as before, then the
+// round barrier collects every session lost to a crash — in canonical
+// (orphaned time, ticket) order — and re-offers it to a surviving shard,
+// checkpoint blob staged ahead of it, with seeded-jitter backoff. The
+// rebalancer runs at the same barrier: re-offers headed for a hot shard
+// (busy horizon far past the coolest shard's) migrate to the coolest shard
+// instead. Rounds repeat until no orphans remain; every decision is a pure
+// function of the schedules, so the whole recovery story is byte-identical
+// across RTAD_JOBS and both scheduler kernels.
+//
 // Knobs (all parsed through core::env — malformed values throw):
 //   RTAD_SERVE_SHARDS      fleet width                     (default 2)
 //   RTAD_SERVE_LANES       SoC lanes per shard             (default 2)
@@ -17,6 +28,13 @@
 //   RTAD_SERVE_QUANTUM_US  advance() slice, simulated us   (default 2000)
 //   RTAD_SERVE_PROTO       fleet trace protocol: pft|etrace|mixed
 //                          (default: the process RTAD_TRACE_PROTO)
+//   RTAD_SERVE_RETRY            re-offer budget per refused request (0)
+//   RTAD_SERVE_RETRY_BASE_US    retry backoff base, simulated us  (500)
+//   RTAD_SERVE_CHECKPOINT_EVERY quanta between periodic blobs       (8)
+//   RTAD_SERVE_CHECKPOINT_CAP_KB  parked-blob byte cap, KiB; 0 = off (0)
+//   RTAD_SERVE_REBALANCE_GAP_US hot/cool horizon gap that triggers a
+//                               parked-session migration          (40000)
+//   RTAD_SERVE_MIGRATE_US       simulated cost of moving one blob   (200)
 #pragma once
 
 #include <cstddef>
@@ -59,6 +77,22 @@ struct ServiceConfig {
   /// Base detection options shared by every episode (see ShardConfig).
   core::DetectionOptions detection{};
 
+  // --- failure domain (PR 8) ---
+  /// Fleet-level fault sites (inactive by default — the fleet then runs
+  /// the legacy single-round path, byte-identical to PR 7). from_env()
+  /// adopts the serve.* keys of the process RTAD_FAULTS plan.
+  fault::ServeFaultPlan serve_faults{};
+  std::uint64_t fault_seed = 0xFA017;  ///< per-(site, shard) stream base
+  std::size_t retry_budget = 0;        ///< re-offers per refused request
+  std::uint64_t retry_base_us = 500;   ///< backoff base (simulated us)
+  std::uint64_t checkpoint_every = 8;  ///< quanta between periodic blobs
+  std::uint64_t checkpoint_cap_kb = 0; ///< parked-byte cap per shard (KiB)
+  /// Busy-horizon gap (hot shard vs coolest) above which a failover
+  /// re-offer migrates to the coolest shard instead of its ring target.
+  sim::Picoseconds rebalance_gap_ps = 40'000 * sim::kPsPerUs;
+  /// Simulated cost of moving one parked blob between shards.
+  sim::Picoseconds migrate_ps = 200 * sim::kPsPerUs;
+
   /// Resolve the RTAD_SERVE_* knobs (strict grammar; throws on malformed
   /// values). Unset knobs keep the defaults above.
   static ServiceConfig from_env();
@@ -70,6 +104,9 @@ struct ClassSlo {
   std::uint64_t completed = 0;
   std::uint64_t shed = 0;
   std::uint64_t degraded = 0;
+  /// Sessions in this class that finished from a restored checkpoint —
+  /// the per-class blast radius of the fault storm.
+  std::uint64_t recovered = 0;
   /// Sojourn time (arrival → verdict delivered) of completed sessions,
   /// in simulated microseconds. p50/p95/p99 come straight off this.
   sim::Sampler sojourn_us;
@@ -92,6 +129,26 @@ struct ServiceReport {
   std::uint64_t sessions_etrace = 0;
   sim::Sampler queue_depth;  ///< merged shard ingress depth samples
   std::size_t queue_high_watermark = 0;
+
+  // --- failure domain (all zero when no serve fault site is active) ---
+  std::uint64_t shard_crashes = 0;
+  std::uint64_t lane_wedges = 0;
+  std::uint64_t brownout_refusals = 0;
+  std::uint64_t sessions_recovered = 0;
+  std::uint64_t sessions_parked = 0;
+  std::uint64_t sessions_retried = 0;
+  std::uint64_t queue_flushed = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_evictions = 0;
+  std::uint64_t failover_rounds = 0;  ///< extra rounds beyond the first
+  /// Simulated time re-executed by restores (serve.recovery_replay_ps).
+  sim::Picoseconds recovery_replay_ps = 0;
+  /// Deepest parked-blob byte footprint of any shard — the fleet's
+  /// bounded-memory story in one number.
+  std::uint64_t parked_bytes_hwm = 0;
+  sim::Sampler checkpoint_bytes;     ///< every blob serialized, fleet-wide
+  sim::Sampler recovery_latency_us;  ///< orphaned → restored-start gap
 
   const ClassSlo& slo(TenantClass cls) const noexcept {
     return cls == TenantClass::kInteractive ? interactive : batch;

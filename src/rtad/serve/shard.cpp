@@ -11,12 +11,116 @@ namespace {
 
 constexpr sim::Picoseconds kNever = ~sim::Picoseconds{0};
 
+/// Heap comparator: the request with the earlier (arrival, ticket) is the
+/// next to re-offer (std::push_heap builds a max-heap, so "greater").
+struct RetryLater {
+  bool operator()(const SessionRequest& a, const SessionRequest& b) const {
+    return a.arrival_ps != b.arrival_ps ? a.arrival_ps > b.arrival_ps
+                                        : a.ticket > b.ticket;
+  }
+};
+
 }  // namespace
 
 Shard::Shard(std::size_t id, ShardConfig cfg,
              std::shared_ptr<core::TrainedModelCache> cache)
-    : id_(id), cfg_(std::move(cfg)), cache_(std::move(cache)) {
+    : id_(id),
+      cfg_(std::move(cfg)),
+      cache_(std::move(cache)),
+      admission_(cfg_.admission),
+      store_(cfg_.checkpoint_cap_bytes) {
   if (cfg_.lanes == 0) cfg_.lanes = 1;
+  lane_free_at_.assign(cfg_.lanes, 0);
+  if (cfg_.serve_faults.any()) {
+    fault_sched_ = build_shard_schedule(cfg_.serve_faults, cfg_.fault_seed,
+                                        id_, cfg_.lanes);
+    crash_fired_.assign(fault_sched_.crashes.size(), false);
+    wedge_fired_.assign(fault_sched_.wedges.size(), false);
+  }
+  if (cfg_.checkpoint_every == 0) cfg_.checkpoint_every = 1;
+}
+
+sim::Picoseconds Shard::next_fault_event() const noexcept {
+  sim::Picoseconds next = kNever;
+  for (std::size_t c = 0; c < fault_sched_.crashes.size(); ++c) {
+    if (!crash_fired_[c]) {
+      next = std::min(next, fault_sched_.crashes[c]);
+      break;  // sorted
+    }
+  }
+  for (std::size_t w = 0; w < fault_sched_.wedges.size(); ++w) {
+    if (!wedge_fired_[w]) {
+      next = std::min(next, fault_sched_.wedges[w].at);
+      break;  // sorted
+    }
+  }
+  return next;
+}
+
+void Shard::fire_fault_event() {
+  std::size_t ci = fault_sched_.crashes.size();
+  for (std::size_t c = 0; c < fault_sched_.crashes.size(); ++c) {
+    if (!crash_fired_[c]) {
+      ci = c;
+      break;
+    }
+  }
+  std::size_t wi = fault_sched_.wedges.size();
+  for (std::size_t w = 0; w < fault_sched_.wedges.size(); ++w) {
+    if (!wedge_fired_[w]) {
+      wi = w;
+      break;
+    }
+  }
+  const sim::Picoseconds tc =
+      ci < fault_sched_.crashes.size() ? fault_sched_.crashes[ci] : kNever;
+  const sim::Picoseconds tw =
+      wi < fault_sched_.wedges.size() ? fault_sched_.wedges[wi].at : kNever;
+
+  if (tc <= tw) {
+    // Whole-shard crash: everything waiting in the ingress queue dies with
+    // the shard (no progress to save — they were never dispatched) and
+    // every lane is down for the downtime. In-flight sessions were already
+    // orphaned by their own dispatch when it hit this instant.
+    crash_fired_[ci] = true;
+    ++stats_.crashes;
+    while (auto queued = admission_.next()) {
+      ++stats_.queue_flushed;
+      FailoverItem item;
+      item.request = std::move(*queued);
+      ++item.request.attempts;
+      item.orphaned_ps = tc;
+      item.from_shard = id_;
+      failover_.push_back(std::move(item));
+    }
+    for (auto& free_at : lane_free_at_) {
+      free_at = std::max(free_at, tc + fault_sched_.crash_downtime_ps);
+    }
+  } else {
+    // Idle-lane wedge (a wedge hitting a busy lane is consumed by that
+    // dispatch instead): the lane is simply unavailable for a while.
+    wedge_fired_[wi] = true;
+    ++stats_.wedges;
+    auto& free_at = lane_free_at_[fault_sched_.wedges[wi].lane];
+    free_at = std::max(free_at, tw + fault_sched_.wedge_ps);
+  }
+}
+
+void Shard::retry_or_shed(SessionRequest req, sim::Picoseconds refused_at,
+                          std::vector<SessionOutcome>& out) {
+  if (admission_.retry_allowed(req)) {
+    ++req.attempts;
+    admission_.record_retry();
+    req.arrival_ps =
+        refused_at + admission_.retry_delay(req.ticket, req.attempts);
+    retry_queue_.push_back(std::move(req));
+    std::push_heap(retry_queue_.begin(), retry_queue_.end(), RetryLater{});
+    return;
+  }
+  SessionOutcome o;
+  o.request = std::move(req);
+  o.shed = true;
+  out.push_back(std::move(o));
 }
 
 std::vector<SessionOutcome> Shard::run() {
@@ -25,16 +129,32 @@ std::vector<SessionOutcome> Shard::run() {
               return a.arrival_ps != b.arrival_ps ? a.arrival_ps < b.arrival_ps
                                                   : a.ticket < b.ticket;
             });
-  AdmissionController admission(cfg_.admission);
-  lane_free_at_.assign(cfg_.lanes, 0);
   std::vector<SessionOutcome> out;
   out.reserve(staged_.size());
 
   std::size_t i = 0;
-  while (i < staged_.size() || !admission.empty()) {
+  while (i < staged_.size() || !retry_queue_.empty() || !admission_.empty()) {
+    // Earliest pending arrival: the staged schedule and the retry heap are
+    // merged on (arrival_ps, ticket).
+    const bool have_staged = i < staged_.size();
+    const bool have_retry = !retry_queue_.empty();
+    bool retry_first = have_retry;
+    if (have_staged && have_retry) {
+      const SessionRequest& s = staged_[i];
+      const SessionRequest& r = retry_queue_.front();
+      retry_first = r.arrival_ps != s.arrival_ps
+                        ? r.arrival_ps < s.arrival_ps
+                        : r.ticket < s.ticket;
+    }
     const sim::Picoseconds t_arr =
-        i < staged_.size() ? staged_[i].arrival_ps : kNever;
-    if (!admission.empty()) {
+        have_staged || have_retry
+            ? (retry_first ? retry_queue_.front().arrival_ps
+                           : staged_[i].arrival_ps)
+            : kNever;
+
+    const sim::Picoseconds t_fault =
+        fault_sched_.empty() ? kNever : next_fault_event();
+    if (!admission_.empty()) {
       // Earliest-free lane; lowest index breaks ties so placement is a
       // pure function of the arrival schedule.
       std::size_t lane = 0;
@@ -42,31 +162,60 @@ std::vector<SessionOutcome> Shard::run() {
         if (lane_free_at_[l] < lane_free_at_[lane]) lane = l;
       }
       const sim::Picoseconds t_start =
-          std::max(lane_free_at_[lane], admission.head().arrival_ps);
+          std::max(lane_free_at_[lane], admission_.head().arrival_ps);
+      // Fault events fire first on ties: a crash at the instant a dispatch
+      // would start takes the shard down before the dispatch exists.
+      if (t_fault <= std::min(t_start, t_arr)) {
+        fire_fault_event();
+        continue;
+      }
       // Dispatch-before-arrival on ties: an arrival at exactly the instant
       // a queue slot frees sees the freed slot.
       if (t_start <= t_arr) {
-        dispatch(admission, lane, out);
+        dispatch(lane, out);
         continue;
       }
+    } else if (t_fault <= t_arr && t_arr != kNever) {
+      // Keep the fault cursor ahead of the next arrival even while idle, so
+      // an arrival after a crash sees the post-crash lane state.
+      fire_fault_event();
+      continue;
     }
-    const SessionRequest req = staged_[i];
-    ++i;
-    if (admission.offer(req) == AdmissionController::Verdict::kShed) {
-      SessionOutcome o;
-      o.request = req;
-      o.shed = true;
-      out.push_back(std::move(o));
+
+    SessionRequest req;
+    if (retry_first) {
+      std::pop_heap(retry_queue_.begin(), retry_queue_.end(), RetryLater{});
+      req = std::move(retry_queue_.back());
+      retry_queue_.pop_back();
+    } else {
+      req = staged_[i];
+      ++i;
+    }
+    if (fault_sched_.in_brownout(req.arrival_ps)) {
+      // Admission brownout: the door refuses the offer outright; the
+      // request is entitled to its retry budget like any refusal.
+      ++stats_.brownout_refusals;
+      const sim::Picoseconds refused_at = req.arrival_ps;
+      retry_or_shed(std::move(req), refused_at, out);
+      continue;
+    }
+    const sim::Picoseconds offered_at = req.arrival_ps;
+    if (admission_.offer(req) == AdmissionController::Verdict::kShed) {
+      retry_or_shed(std::move(req), offered_at, out);
     }
   }
 
-  stats_.offered += admission.offered();
-  stats_.admitted += admission.admitted();
-  stats_.shed += admission.shed();
-  stats_.degraded += admission.degraded();
-  stats_.queue_depth.merge(admission.depth_seen());
-  stats_.queue_high_watermark =
-      std::max(stats_.queue_high_watermark, admission.high_watermark());
+  // Harvest by assignment: admission/store state persists across failover
+  // rounds, so the counters are cumulative and the last run() wins.
+  stats_.offered = admission_.offered();
+  stats_.admitted = admission_.admitted();
+  stats_.shed = admission_.shed();
+  stats_.degraded = admission_.degraded();
+  stats_.retried = admission_.retried();
+  stats_.queue_depth = admission_.depth_seen();
+  stats_.queue_high_watermark = admission_.high_watermark();
+  stats_.checkpoint_evictions = store_.evictions();
+  stats_.parked_bytes_hwm = store_.bytes_high_watermark();
 
   std::sort(out.begin(), out.end(),
             [](const SessionOutcome& a, const SessionOutcome& b) {
@@ -76,9 +225,26 @@ std::vector<SessionOutcome> Shard::run() {
   return out;
 }
 
-void Shard::dispatch(AdmissionController& admission, std::size_t lane,
-                     std::vector<SessionOutcome>& out) {
-  SessionRequest req = *admission.next();
+std::vector<FailoverItem> Shard::take_failover() {
+  std::sort(failover_.begin(), failover_.end(),
+            [](const FailoverItem& a, const FailoverItem& b) {
+              return a.orphaned_ps != b.orphaned_ps
+                         ? a.orphaned_ps < b.orphaned_ps
+                         : a.request.ticket < b.request.ticket;
+            });
+  return std::exchange(failover_, {});
+}
+
+sim::Picoseconds Shard::horizon() const noexcept {
+  sim::Picoseconds h = 0;
+  for (const sim::Picoseconds free_at : lane_free_at_) {
+    h = std::max(h, free_at);
+  }
+  return h;
+}
+
+void Shard::dispatch(std::size_t lane, std::vector<SessionOutcome>& out) {
+  SessionRequest req = *admission_.next();
   const sim::Picoseconds start =
       std::max(lane_free_at_[lane], req.arrival_ps);
 
@@ -91,22 +257,128 @@ void Shard::dispatch(AdmissionController& admission, std::size_t lane,
   const core::ModelKind model =
       req.degraded ? core::ModelKind::kElm : req.model;
 
-  const auto profile = cache_->profile(req.benchmark);
-  const core::TrainedModels& models = cache_->get(req.benchmark);
-  core::DetectionSession session(profile, models, model, req.engine, opts);
-  while (true) {
+  // Thaw or construct. A parked blob resurrects the exact session that was
+  // orphaned (its own options, including any degrade decision made at its
+  // original admission); an evicted entry (empty blob) restarts the
+  // episode from scratch — slower, never a different result.
+  std::unique_ptr<core::DetectionSession> session;
+  bool recovered = false;
+  bool ran_degraded = req.degraded;
+  if (auto parked = store_.take(req.ticket)) {
+    if (!parked->blob.empty()) {
+      const auto ckpt = core::SessionCheckpoint::parse(parked->blob);
+      // Cache lookups key on the request's benchmark alias; restore()
+      // cross-checks the resolved profile against the blob's full name.
+      session = core::DetectionSession::restore(
+          ckpt, cache_->profile(req.benchmark), cache_->get(req.benchmark));
+      recovered = true;
+      ++stats_.recovered;
+      stats_.replay_ps += session->replayed_ps();
+      ran_degraded = ckpt.model == core::ModelKind::kElm &&
+                     req.model != core::ModelKind::kElm;
+    }
+    stats_.recovery_latency_us.record(sim::to_us(start - parked->parked_at));
+  }
+  if (!session) {
+    const auto profile = cache_->profile(req.benchmark);
+    const core::TrainedModels& models = cache_->get(req.benchmark);
+    session = std::make_unique<core::DetectionSession>(profile, models, model,
+                                                       req.engine, opts);
+  }
+  const sim::Picoseconds base = session->now();
+
+  // First fault event that can interrupt this run: the next unfired crash,
+  // or the next unfired wedge on this lane. The main loop fires events
+  // preceding the dispatch, so every unfired event is strictly after
+  // `start`.
+  sim::Picoseconds interrupt_at = kNever;
+  bool interrupt_is_crash = false;
+  std::size_t interrupt_wedge = fault_sched_.wedges.size();
+  for (std::size_t c = 0; c < fault_sched_.crashes.size(); ++c) {
+    if (!crash_fired_[c]) {
+      interrupt_at = fault_sched_.crashes[c];
+      interrupt_is_crash = true;
+      break;
+    }
+  }
+  for (std::size_t w = 0; w < fault_sched_.wedges.size(); ++w) {
+    if (!wedge_fired_[w] && fault_sched_.wedges[w].lane == lane &&
+        fault_sched_.wedges[w].at < interrupt_at) {
+      interrupt_at = fault_sched_.wedges[w].at;
+      interrupt_is_crash = false;
+      interrupt_wedge = w;
+      break;
+    }
+  }
+
+  // Drive the session. Under an interruptible window, serialize a periodic
+  // checkpoint so a fault loses at most checkpoint_every quanta of work —
+  // exactly the work a real crash destroys.
+  std::vector<std::uint8_t> last_blob;
+  if (interrupt_at != kNever) {
+    last_blob = session->checkpoint().serialize();
+    ++stats_.checkpoints;
+    stats_.checkpoint_bytes.record(static_cast<double>(last_blob.size()));
+  }
+  std::uint64_t since_ckpt = 0;
+  bool interrupted = false;
+  while (!session->done()) {
     ++stats_.quanta;
-    if (!session.advance(cfg_.quantum_ps)) break;
+    const bool more = session->advance(cfg_.quantum_ps);
+    if (interrupt_at != kNever) {
+      const sim::Picoseconds fleet_now = start + (session->now() - base);
+      if (fleet_now >= interrupt_at) {
+        interrupted = true;
+        break;
+      }
+      if (more && ++since_ckpt >= cfg_.checkpoint_every) {
+        since_ckpt = 0;
+        last_blob = session->checkpoint().serialize();
+        ++stats_.checkpoints;
+        stats_.checkpoint_bytes.record(static_cast<double>(last_blob.size()));
+      }
+    }
+    if (!more) break;
+  }
+
+  if (interrupted) {
+    ++stats_.parked;
+    ++req.attempts;
+    if (interrupt_is_crash) {
+      // The crash's shard-wide effects (queue flush, downtime) fire via
+      // the main-loop cursor; here the lane just loses its session. It
+      // must restore elsewhere — this shard is going down.
+      FailoverItem item;
+      item.request = std::move(req);
+      item.blob = std::move(last_blob);
+      item.orphaned_ps = interrupt_at;
+      item.from_shard = id_;
+      failover_.push_back(std::move(item));
+      lane_free_at_[lane] = interrupt_at;
+    } else {
+      // Wedge: the shard survives, so park locally and re-offer here.
+      wedge_fired_[interrupt_wedge] = true;
+      ++stats_.wedges;
+      lane_free_at_[lane] = interrupt_at + fault_sched_.wedge_ps;
+      store_.put(req.ticket, std::move(last_blob), interrupt_at);
+      admission_.record_retry();
+      req.arrival_ps =
+          interrupt_at + admission_.retry_delay(req.ticket, req.attempts);
+      retry_queue_.push_back(std::move(req));
+      std::push_heap(retry_queue_.begin(), retry_queue_.end(), RetryLater{});
+    }
+    return;
   }
 
   SessionOutcome o;
   o.request = std::move(req);
-  o.degraded = o.request.degraded;
+  o.degraded = ran_degraded;
+  o.recovered = recovered;
   o.start_ps = start;
-  o.service_ps = session.now();
+  o.service_ps = session->now() - base;
   o.completion_ps = start + o.service_ps;
-  o.sojourn_ps = o.completion_ps - o.request.arrival_ps;
-  o.detection = session.result();
+  o.sojourn_ps = o.completion_ps - o.request.origin_arrival_ps;
+  o.detection = session->result();
   lane_free_at_[lane] = o.completion_ps;
   ++stats_.completed;
   if (o.request.proto == trace::TraceProtocol::kEtrace) {

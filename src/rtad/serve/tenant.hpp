@@ -48,6 +48,15 @@ struct SessionRequest {
   /// Global submission index: ties on arrival_ps break by ticket, and the
   /// service merges shard outcomes back into ticket order.
   std::uint64_t ticket = 0;
+  /// The tenant's original arrival instant. Retry/failover re-offers move
+  /// arrival_ps forward; sojourn (the SLO) is always measured from here.
+  /// Stamped by Service::run alongside the ticket; zero-fault runs keep it
+  /// equal to arrival_ps.
+  sim::Picoseconds origin_arrival_ps = 0;
+  /// Re-offer count so far (admission retries + failover re-offers). Seeds
+  /// the per-attempt backoff jitter, so retry spacing is a pure function of
+  /// (ticket, attempt) — independent of execution order.
+  std::size_t attempts = 0;
   /// Set by admission control under the degrade policy: run the cheap
   /// model (ELM) instead of the requested one.
   bool degraded = false;
