@@ -83,6 +83,7 @@ DetectionSession::DetectionSession(const workloads::SpecProfile& profile,
 DetectionSession::~DetectionSession() = default;
 
 void DetectionSession::on_inference(const mcm::InferenceRecord& rec) {
+  last_score_ = rec.score;
   std::uint32_t score_bits;
   std::memcpy(&score_bits, &rec.score, sizeof(score_bits));
   for (int shift = 0; shift < 32; shift += 8) {

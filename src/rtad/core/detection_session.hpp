@@ -106,6 +106,13 @@ class DetectionSession {
   std::uint64_t anomaly_flags() const noexcept { return anomaly_flags_; }
   /// Anomaly IRQs actually fired toward the host CPU so far.
   std::uint64_t irqs_fired() const noexcept;
+  /// The most recent anomaly score the MCM produced (0.0 before the first
+  /// inference). Not checkpointed: restore()'s replay recomputes the exact
+  /// value, so the poll is byte-identical across park/resume boundaries —
+  /// the serve layer samples it into the telemetry store every quantum.
+  double last_score() const noexcept {
+    return static_cast<double>(last_score_);
+  }
   /// Attack rounds fully finished (detection outcome recorded).
   std::size_t attacks_completed() const noexcept { return attacks_done_; }
 
@@ -161,6 +168,7 @@ class DetectionSession {
   // Run-wide accumulators.
   std::uint64_t false_positives_ = 0;
   std::uint64_t anomaly_flags_ = 0;
+  float last_score_ = 0.0f;  ///< latest InferenceRecord score (poll only)
   std::uint64_t score_digest_ = 14695981039346656037ULL;  ///< FNV-1a basis
   sim::Sampler latency_us_;
 

@@ -38,14 +38,19 @@ AdmissionController::AdmissionController(AdmissionConfig cfg)
 
 AdmissionController::Verdict AdmissionController::offer(SessionRequest req) {
   ++offered_;
-  depth_seen_.record(static_cast<double>(queue_.size()));
   const bool degrade = cfg_.policy == OverloadPolicy::kDegrade &&
                        queue_.size() >= cfg_.degrade_watermark;
   if (degrade) req.degraded = true;
   if (!queue_.try_push(std::move(req))) {
+    // Post-decision depth: a shed arrival saw (and records) the full queue.
+    // Sampling before try_push under-reported by one at every offer and
+    // could never observe capacity — serve.ingress_depth looked healthier
+    // than the queue ever was.
     ++shed_;
+    depth_seen_.record(static_cast<double>(queue_.size()));
     return Verdict::kShed;
   }
+  depth_seen_.record(static_cast<double>(queue_.size()));
   ++admitted_;
   if (degrade) {
     ++degraded_;

@@ -13,8 +13,11 @@
 //     model fidelity for service time so fewer sessions shed. A completely
 //     full queue still sheds; the queue stays bounded either way.
 //
-// Queue depth is sampled at every offer, before the verdict, so the depth
-// distribution reflects what arrivals actually see.
+// Queue depth is sampled at every offer, after the verdict lands: an
+// admitted arrival records the occupancy including itself, a shed arrival
+// records the full queue it bounced off. The distribution therefore reaches
+// queue_capacity exactly when sheds happen — sampling before the push
+// under-reported by one everywhere and could never observe a full queue.
 #pragma once
 
 #include <cstddef>
@@ -105,7 +108,8 @@ class AdmissionController {
   std::uint64_t shed() const noexcept { return shed_; }
   std::uint64_t degraded() const noexcept { return degraded_; }
   std::uint64_t retried() const noexcept { return retried_; }
-  /// Depth seen by each arrival (sampled before its own admission).
+  /// Depth recorded at each offer, post-decision: occupancy including the
+  /// arrival itself when admitted, the full queue when shed.
   const sim::Sampler& depth_seen() const noexcept { return depth_seen_; }
   /// Deepest ingress occupancy ever reached.
   std::size_t high_watermark() const noexcept {

@@ -8,16 +8,22 @@ namespace rtad::serve {
 void CheckpointStore::put(std::uint64_t ticket, std::vector<std::uint8_t> blob,
                           sim::Picoseconds parked_at) {
   ++parks_;
-  blob_bytes_.record(static_cast<double>(blob.size()));
   auto it = entries_.find(ticket);
   if (it != entries_.end()) {
     bytes_ -= it->second.blob.size();
     entries_.erase(it);
   }
+  // Decide eviction before recording: blob_bytes_ is the distribution of
+  // bytes actually parked, so a cap-evicted blob must not inflate it (it
+  // used to be counted as if parked — precisely when the cap bites and the
+  // distribution matters most). Evicted sizes get their own sampler.
   if (cap_bytes_ != 0 && bytes_ + blob.size() > cap_bytes_) {
     ++evictions_;
+    evicted_blob_bytes_.record(static_cast<double>(blob.size()));
     blob.clear();
     blob.shrink_to_fit();
+  } else {
+    blob_bytes_.record(static_cast<double>(blob.size()));
   }
   bytes_ += blob.size();
   bytes_hwm_ = std::max(bytes_hwm_, bytes_);

@@ -57,8 +57,15 @@ class CheckpointStore {
   /// Total park events (put() calls) and cap-driven progress discards.
   std::uint64_t parks() const noexcept { return parks_; }
   std::uint64_t evictions() const noexcept { return evictions_; }
-  /// Size of every blob ever parked (the checkpoint-bytes distribution).
+  /// Size of every blob actually parked (the checkpoint-bytes
+  /// distribution). Cap-evicted blobs are excluded — they never occupied
+  /// store memory.
   const sim::Sampler& blob_bytes() const noexcept { return blob_bytes_; }
+  /// Original size of every blob the cap discarded (the progress the store
+  /// shed; surfaced as serve.evicted_blob_bytes).
+  const sim::Sampler& evicted_blob_bytes() const noexcept {
+    return evicted_blob_bytes_;
+  }
 
  private:
   std::uint64_t cap_bytes_;
@@ -68,6 +75,7 @@ class CheckpointStore {
   std::uint64_t parks_ = 0;
   std::uint64_t evictions_ = 0;
   sim::Sampler blob_bytes_;
+  sim::Sampler evicted_blob_bytes_;
 };
 
 }  // namespace rtad::serve

@@ -8,6 +8,7 @@
 #include "rtad/core/env.hpp"
 #include "rtad/fault/fault_plan.hpp"
 #include "rtad/obs/json.hpp"
+#include "rtad/telemetry/query.hpp"
 
 namespace rtad::serve {
 
@@ -52,6 +53,7 @@ ServiceConfig ServiceConfig::from_env() {
     cfg.serve_faults = plan->serve;
     cfg.fault_seed = plan->seed;
   }
+  cfg.telemetry = telemetry::StoreConfig::from_env();
   const std::string proto = core::env::choice_or(
       "RTAD_SERVE_PROTO", {"pft", "etrace", "mixed"},
       fleet_protocol_name(cfg.proto));
@@ -63,6 +65,48 @@ ServiceConfig ServiceConfig::from_env() {
     cfg.proto = FleetProtocol::kMixed;
   }
   return cfg;
+}
+
+std::size_t failover_target(std::size_t from_shard,
+                            sim::Picoseconds reoffer_ps,
+                            const std::vector<ShardHeat>& heat,
+                            sim::Picoseconds rebalance_gap_ps,
+                            bool* migrated) {
+  *migrated = false;
+  const std::size_t n = heat.size();
+  const auto up = [&](std::size_t s) {
+    return heat[s].down_until <= reoffer_ps;
+  };
+  bool any_up = false;
+  for (std::size_t s = 0; s < n; ++s) any_up = any_up || up(s);
+  // When the whole fleet is inside a downtime window the orphan has to
+  // queue and wait wherever it lands, so both walks degenerate to the
+  // legacy all-shard scan; otherwise down shards are excluded.
+  const auto eligible = [&](std::size_t s) { return !any_up || up(s); };
+  // Ring heir: the first eligible shard after the crashed one (the naive
+  // successor may have crashed in the same storm).
+  std::size_t target = (from_shard + 1) % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t candidate = (from_shard + 1 + k) % n;
+    if (eligible(candidate)) {
+      target = candidate;
+      break;
+    }
+  }
+  // Coolest scan, down shards excluded: a freshly-crashed shard's flushed
+  // queue can make its horizon the smallest in the fleet exactly while it
+  // refuses work.
+  std::size_t coolest = target;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!eligible(s)) continue;
+    if (heat[s].horizon < heat[coolest].horizon) coolest = s;
+  }
+  if (target != coolest &&
+      heat[target].horizon > heat[coolest].horizon + rebalance_gap_ps) {
+    *migrated = true;
+    return coolest;
+  }
+  return target;
 }
 
 Service::Service(ServiceConfig cfg,
@@ -159,29 +203,29 @@ ServiceReport Service::run(std::vector<SessionRequest> requests) {
                            ? a.orphaned_ps < b.orphaned_ps
                            : a.request.ticket < b.request.ticket;
               });
+    // One heat snapshot per round: horizons only move inside run(), so the
+    // snapshot is exact for every orphan routed at this barrier.
+    std::vector<ShardHeat> heat;
+    heat.reserve(shards.size());
+    for (const auto& shard : shards) {
+      heat.push_back(ShardHeat{shard->horizon(), shard->down_until()});
+    }
     for (auto& item : orphans) {
-      // Default target: the next shard on the ring (the crashed shard is
-      // down; its ring successor is the conventional heir). The rebalancer
-      // overrides it when the heir is already hot: parked sessions are the
-      // cheapest thing in the fleet to move, so they migrate to the
-      // coolest shard at the cost of one blob transfer.
-      std::size_t target = (item.from_shard + 1) % shards.size();
-      std::size_t coolest = 0;
-      for (std::size_t s = 1; s < shards.size(); ++s) {
-        if (shards[s]->horizon() < shards[coolest]->horizon()) coolest = s;
-      }
+      SessionRequest req = std::move(item.request);
+      const sim::Picoseconds reoffer_ps =
+          item.orphaned_ps + retry_backoff_ps(cfg_.fault_seed, req.ticket,
+                                              req.attempts,
+                                              cfg_.retry_base_us);
+      bool migrated = false;
+      const std::size_t target =
+          failover_target(item.from_shard, reoffer_ps, heat,
+                          cfg_.rebalance_gap_ps, &migrated);
       sim::Picoseconds migrate_cost = 0;
-      if (target != coolest && shards[target]->horizon() >
-                                   shards[coolest]->horizon() +
-                                       cfg_.rebalance_gap_ps) {
-        target = coolest;
+      if (migrated) {
         migrate_cost = cfg_.migrate_ps;
         ++rep.migrations;
       }
-      SessionRequest req = std::move(item.request);
-      req.arrival_ps = item.orphaned_ps + migrate_cost +
-                       retry_backoff_ps(cfg_.fault_seed, req.ticket,
-                                        req.attempts, cfg_.retry_base_us);
+      req.arrival_ps = reoffer_ps + migrate_cost;
       if (!item.blob.empty()) {
         shards[target]->stage_parked(req.ticket, std::move(item.blob),
                                      item.orphaned_ps);
@@ -214,8 +258,42 @@ ServiceReport Service::run(std::vector<SessionRequest> requests) {
     rep.recovery_replay_ps += st.replay_ps;
     rep.parked_bytes_hwm = std::max(rep.parked_bytes_hwm, st.parked_bytes_hwm);
     rep.checkpoint_bytes.merge(st.checkpoint_bytes);
+    rep.evicted_blob_bytes.merge(st.evicted_blob_bytes);
     rep.recovery_latency_us.merge(st.recovery_latency_us);
   }
+
+  // Fleet telemetry: harvest every shard's committed records in shard-index
+  // order, canonicalize, and ingest into one store. The sort key is the
+  // stream clock (tenant, at_ps, ticket) — per-tenant streams interleave
+  // identically however the fleet sharded them. An evicted-blob restart
+  // re-executes from scratch and re-commits samples an earlier run already
+  // committed; determinism makes the duplicates byte-equal, so adjacent
+  // dedupe on (tenant, ticket, at_ps) restores the fault-free stream.
+  std::vector<TelemetryRecord> records;
+  for (auto& shard : shards) {
+    auto taken = shard->take_telemetry();
+    for (auto& rec : taken) records.push_back(std::move(rec));
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TelemetryRecord& a, const TelemetryRecord& b) {
+                     if (a.tenant != b.tenant) return a.tenant < b.tenant;
+                     if (a.sample.at_ps != b.sample.at_ps) {
+                       return a.sample.at_ps < b.sample.at_ps;
+                     }
+                     return a.ticket < b.ticket;
+                   });
+  records.erase(
+      std::unique(records.begin(), records.end(),
+                  [](const TelemetryRecord& a, const TelemetryRecord& b) {
+                    return a.tenant == b.tenant && a.ticket == b.ticket &&
+                           a.sample.at_ps == b.sample.at_ps;
+                  }),
+      records.end());
+  rep.telemetry = std::make_shared<telemetry::TelemetryStore>(cfg_.telemetry);
+  for (const TelemetryRecord& rec : records) {
+    rep.telemetry->append(rec.tenant, rec.sample);
+  }
+
   std::sort(rep.outcomes.begin(), rep.outcomes.end(),
             [](const SessionOutcome& a, const SessionOutcome& b) {
               return a.request.ticket < b.request.ticket;
@@ -326,6 +404,12 @@ void write_serve_report(obs::JsonWriter& json, const ServiceConfig& cfg,
     json.field("max", report.checkpoint_bytes.max());
     json.field("parked_high_watermark", report.parked_bytes_hwm);
     json.end_object();
+    json.key("evicted_blob_bytes").begin_object();
+    json.field("samples",
+               static_cast<std::uint64_t>(report.evicted_blob_bytes.count()));
+    json.field("mean", report.evicted_blob_bytes.mean());
+    json.field("max", report.evicted_blob_bytes.max());
+    json.end_object();
     json.key("recovery_latency_us").begin_object();
     json.field("count",
                static_cast<std::uint64_t>(report.recovery_latency_us.count()));
@@ -348,6 +432,35 @@ void write_serve_report(obs::JsonWriter& json, const ServiceConfig& cfg,
   write_class(json, "interactive", report.interactive, failure_domain);
   write_class(json, "batch", report.batch, failure_domain);
   json.end_object();
+  // Telemetry last: everything above is quantum-invariant; telemetry
+  // samples once per quantum (see the write_serve_report doc).
+  if (report.telemetry) {
+    const telemetry::TelemetryStore& tel = *report.telemetry;
+    json.key("telemetry").begin_object();
+    json.field("serve.telemetry_tenants", tel.tenants());
+    json.field("serve.telemetry_samples", tel.samples());
+    json.field("serve.telemetry_flagged", tel.flagged());
+    json.field("serve.telemetry_pages", tel.pages_sealed());
+    json.field("serve.telemetry_evicted_pages", tel.pages_evicted());
+    json.field("serve.telemetry_spilled_pages", tel.pages_spilled());
+    json.field("serve.telemetry_resident_bytes", tel.resident_bytes());
+    telemetry::RankQuery rq;
+    rq.top_k = 5;
+    const auto ranked = telemetry::rank_tenants(tel, rq);
+    json.key("top").begin_array();
+    for (const auto& entry : ranked) {
+      json.begin_object();
+      json.field("tenant", entry.tenant);
+      json.field("severity", entry.severity);
+      json.field("anomaly_rate", entry.anomaly_rate);
+      json.field("peak_score", entry.peak_score);
+      json.field("samples", entry.samples);
+      json.field("health", entry.health);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
   json.end_object();
 }
 

@@ -35,6 +35,9 @@
 //   RTAD_SERVE_REBALANCE_GAP_US hot/cool horizon gap that triggers a
 //                               parked-session migration          (40000)
 //   RTAD_SERVE_MIGRATE_US       simulated cost of moving one blob   (200)
+//   RTAD_TELEMETRY              telemetry spill file (see telemetry/)
+//   RTAD_TELEMETRY_CAP_KB       telemetry resident byte cap, KiB  (0=off)
+//   RTAD_TELEMETRY_PAGE         tier-0 samples per telemetry page   (64)
 #pragma once
 
 #include <cstddef>
@@ -45,6 +48,7 @@
 #include <vector>
 
 #include "rtad/serve/shard.hpp"
+#include "rtad/telemetry/store.hpp"
 
 namespace rtad::obs {
 class JsonWriter;
@@ -93,10 +97,37 @@ struct ServiceConfig {
   /// Simulated cost of moving one parked blob between shards.
   sim::Picoseconds migrate_ps = 200 * sim::kPsPerUs;
 
+  /// Fleet telemetry store shape (page size, byte cap, spill path). The
+  /// store itself lives on the ServiceReport; ingestion is always on.
+  telemetry::StoreConfig telemetry{};
+
   /// Resolve the RTAD_SERVE_* knobs (strict grammar; throws on malformed
   /// values). Unset knobs keep the defaults above.
   static ServiceConfig from_env();
 };
+
+/// One shard's load snapshot at the failover round barrier.
+struct ShardHeat {
+  sim::Picoseconds horizon = 0;     ///< latest instant any lane is booked to
+  sim::Picoseconds down_until = 0;  ///< crash downtime tail; 0 = never down
+};
+
+/// Pick the shard a crash orphan re-offers to. The ring successor of the
+/// crashed shard is the conventional heir; the rebalancer overrides it with
+/// the coolest shard when the heir's horizon is more than rebalance_gap_ps
+/// past it. Both walks skip shards still inside their crash downtime at
+/// `reoffer_ps` — a freshly-crashed shard's flushed queue makes it look
+/// coolest precisely while it cannot take work, which used to bounce
+/// orphans straight back onto a down shard for an extra round of backoff.
+/// If every shard is down, both walks degenerate to the legacy all-shard
+/// scan — the orphan has to queue and wait out a downtime wherever it
+/// lands, so the coolest shard is still the best landlord. Sets *migrated
+/// iff the rebalancer overrode the heir. A pure function — byte-identical
+/// across worker counts.
+std::size_t failover_target(std::size_t from_shard,
+                            sim::Picoseconds reoffer_ps,
+                            const std::vector<ShardHeat>& heat,
+                            sim::Picoseconds rebalance_gap_ps, bool* migrated);
 
 /// Per-tenant-class SLO account.
 struct ClassSlo {
@@ -148,7 +179,13 @@ struct ServiceReport {
   /// bounded-memory story in one number.
   std::uint64_t parked_bytes_hwm = 0;
   sim::Sampler checkpoint_bytes;     ///< every blob serialized, fleet-wide
+  sim::Sampler evicted_blob_bytes;   ///< blob sizes the store caps shed
   sim::Sampler recovery_latency_us;  ///< orphaned → restored-start gap
+
+  /// The fleet telemetry store: every tenant's sample stream, ingested in
+  /// canonical order after the round loop. Always present after run();
+  /// shared so sweep benches can keep several reports cheaply.
+  std::shared_ptr<telemetry::TelemetryStore> telemetry;
 
   const ClassSlo& slo(TenantClass cls) const noexcept {
     return cls == TenantClass::kInteractive ? interactive : batch;
@@ -189,9 +226,13 @@ class Service {
 void write_serve_json(std::ostream& os, const ServiceConfig& cfg,
                       const ServiceReport& report);
 
-/// The document body (one JSON object: config/fleet/ingress_depth/classes)
-/// emitted at the writer's current value position — reusable as a nested
-/// value, e.g. one object per sweep point in BENCH_serve.json.
+/// The document body (one JSON object: config / fleet / [failure] /
+/// ingress_depth / classes / telemetry) emitted at the writer's current
+/// value position — reusable as a nested value, e.g. one object per sweep
+/// point in BENCH_serve.json. The telemetry section is deliberately last:
+/// everything before it is quantum-invariant, while telemetry samples once
+/// per quantum (finer quanta mean more samples), so consumers comparing
+/// fleets across quanta compare the prefix.
 void write_serve_report(obs::JsonWriter& json, const ServiceConfig& cfg,
                         const ServiceReport& report);
 

@@ -96,6 +96,8 @@ void Shard::fire_fault_event() {
     for (auto& free_at : lane_free_at_) {
       free_at = std::max(free_at, tc + fault_sched_.crash_downtime_ps);
     }
+    down_until_ =
+        std::max(down_until_, tc + fault_sched_.crash_downtime_ps);
   } else {
     // Idle-lane wedge (a wedge hitting a busy lane is consumed by that
     // dispatch instead): the lane is simply unavailable for a while.
@@ -216,6 +218,7 @@ std::vector<SessionOutcome> Shard::run() {
   stats_.queue_high_watermark = admission_.high_watermark();
   stats_.checkpoint_evictions = store_.evictions();
   stats_.parked_bytes_hwm = store_.bytes_high_watermark();
+  stats_.evicted_blob_bytes = store_.evicted_blob_bytes();
 
   std::sort(out.begin(), out.end(),
             [](const SessionOutcome& a, const SessionOutcome& b) {
@@ -223,6 +226,10 @@ std::vector<SessionOutcome> Shard::run() {
             });
   staged_.clear();
   return out;
+}
+
+std::vector<TelemetryRecord> Shard::take_telemetry() {
+  return std::exchange(telemetry_, {});
 }
 
 std::vector<FailoverItem> Shard::take_failover() {
@@ -314,6 +321,39 @@ void Shard::dispatch(std::size_t lane, std::vector<SessionOutcome>& out) {
   // Drive the session. Under an interruptible window, serialize a periodic
   // checkpoint so a fault loses at most checkpoint_every quanta of work —
   // exactly the work a real crash destroys.
+  //
+  // Telemetry rides the same boundaries: each advance() stages one sample
+  // on the tenant's stream clock (origin arrival + session time — a pure
+  // function of the episode). Staged samples commit to the shard ring at
+  // every checkpoint serialize and at completion; a fault interrupt
+  // discards everything staged past the last checkpoint, because the
+  // restored session re-executes that work and re-emits the identical
+  // samples. Parked sessions therefore keep their stream, and a recovered
+  // session appends at exactly the restored cursor.
+  std::vector<TelemetryRecord> staged_telemetry;
+  std::uint64_t prev_flags = session->anomaly_flags();
+  sim::Picoseconds last_sample_at = req.origin_arrival_ps + base;
+  std::uint32_t next_health = recovered ? 1 : 0;
+  const auto stage_sample = [&] {
+    const sim::Picoseconds at = req.origin_arrival_ps + session->now();
+    if (at <= last_sample_at) return;  // keep stream clocks strictly rising
+    TelemetryRecord rec;
+    rec.tenant = req.tenant;
+    rec.ticket = req.ticket;
+    rec.sample.at_ps = at;
+    rec.sample.score = session->last_score();
+    rec.sample.flagged = session->anomaly_flags() > prev_flags;
+    rec.sample.health = next_health;
+    next_health = 0;
+    prev_flags = session->anomaly_flags();
+    last_sample_at = at;
+    staged_telemetry.push_back(std::move(rec));
+  };
+  const auto commit_telemetry = [&] {
+    for (auto& rec : staged_telemetry) telemetry_.push_back(std::move(rec));
+    staged_telemetry.clear();
+  };
+
   std::vector<std::uint8_t> last_blob;
   if (interrupt_at != kNever) {
     last_blob = session->checkpoint().serialize();
@@ -328,15 +368,21 @@ void Shard::dispatch(std::size_t lane, std::vector<SessionOutcome>& out) {
     if (interrupt_at != kNever) {
       const sim::Picoseconds fleet_now = start + (session->now() - base);
       if (fleet_now >= interrupt_at) {
+        // Work past the last checkpoint dies with the fault — its staged
+        // samples with it (the restore will re-emit them byte-identically).
         interrupted = true;
         break;
       }
+      stage_sample();
       if (more && ++since_ckpt >= cfg_.checkpoint_every) {
         since_ckpt = 0;
         last_blob = session->checkpoint().serialize();
         ++stats_.checkpoints;
         stats_.checkpoint_bytes.record(static_cast<double>(last_blob.size()));
+        commit_telemetry();
       }
+    } else {
+      stage_sample();
     }
     if (!more) break;
   }
@@ -370,6 +416,7 @@ void Shard::dispatch(std::size_t lane, std::vector<SessionOutcome>& out) {
     return;
   }
 
+  commit_telemetry();
   SessionOutcome o;
   o.request = std::move(req);
   o.degraded = ran_degraded;

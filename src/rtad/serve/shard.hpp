@@ -54,8 +54,22 @@
 #include "rtad/serve/checkpoint_store.hpp"
 #include "rtad/serve/fault_domain.hpp"
 #include "rtad/serve/tenant.hpp"
+#include "rtad/telemetry/page.hpp"
 
 namespace rtad::serve {
+
+/// One telemetry observation bound to its tenant stream. Shards record one
+/// per session quantum (single-writer, per-shard); the Service harvests
+/// them with take_telemetry(), merges in shard-index order, and ingests the
+/// canonically sorted list into the fleet TelemetryStore. The sample clock
+/// is origin_arrival + session time, so a record is a pure function of the
+/// episode — identical whether the session ran straight through, parked on
+/// a wedge, or failed over across shards.
+struct TelemetryRecord {
+  std::string tenant;
+  std::uint64_t ticket = 0;
+  telemetry::Sample sample;
+};
 
 /// The fate of one offered session.
 struct SessionOutcome {
@@ -133,6 +147,7 @@ struct ShardStats {
   std::uint64_t parked_bytes_hwm = 0;   ///< CheckpointStore byte HWM
   sim::Picoseconds replay_ps = 0;       ///< simulated time re-executed
   sim::Sampler checkpoint_bytes;        ///< size of every blob serialized
+  sim::Sampler evicted_blob_bytes;      ///< blob sizes the store cap shed
   sim::Sampler recovery_latency_us;     ///< orphaned → restored-start gap
 };
 
@@ -171,6 +186,19 @@ class Shard {
   /// The rebalancer uses this as the shard's heat.
   sim::Picoseconds horizon() const noexcept;
 
+  /// The shard refuses dispatches before this instant after a crash (the
+  /// tail of its latest crash_downtime window; 0 when it never crashed).
+  /// The failover rebalancer must not route orphans at a shard that is
+  /// still down, however cool its flushed queue makes it look.
+  sim::Picoseconds down_until() const noexcept { return down_until_; }
+
+  /// Telemetry committed since the last take, in commit order. Samples
+  /// staged past a session's last checkpoint are discarded when a fault
+  /// interrupts it — the restored session re-executes that work and
+  /// re-emits the identical samples — so the stream a tenant keeps is
+  /// exactly the stream a fault-free run would have produced.
+  std::vector<TelemetryRecord> take_telemetry();
+
   const ShardStats& stats() const noexcept { return stats_; }
 
  private:
@@ -199,6 +227,8 @@ class Shard {
   std::vector<bool> crash_fired_;
   std::vector<bool> wedge_fired_;
   std::vector<FailoverItem> failover_;
+  std::vector<TelemetryRecord> telemetry_;
+  sim::Picoseconds down_until_ = 0;
   ShardStats stats_;
 };
 

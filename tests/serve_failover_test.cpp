@@ -21,6 +21,7 @@
 #include "rtad/serve/fault_domain.hpp"
 #include "rtad/serve/service.hpp"
 #include "rtad/sim/rng.hpp"
+#include "rtad/telemetry/query.hpp"
 
 namespace rtad::serve {
 namespace {
@@ -197,6 +198,78 @@ TEST(CheckpointStore, BoundsParkedBytesAndEvictsHonestly) {
   EXPECT_TRUE(store.empty());
   EXPECT_FALSE(store.take(1).has_value());
   EXPECT_EQ(store.bytes_high_watermark(), 60u);
+}
+
+TEST(CheckpointStore, EvictedBlobBytesAreAccountedSeparately) {
+  // Regression: put() used to record a cap-evicted blob's size into the
+  // blob_bytes distribution even though the blob never occupied the store
+  // — serve.checkpoint_bytes then over-reported parked bytes under
+  // pressure exactly when the cap was doing its job. Evicted sizes now
+  // land in their own sampler.
+  CheckpointStore store(100);
+  store.put(1, std::vector<std::uint8_t>(70, 0x01), 3);
+  store.put(2, std::vector<std::uint8_t>(90, 0x02), 5);  // evicted
+  store.put(3, std::vector<std::uint8_t>(20, 0x03), 9);
+
+  ASSERT_EQ(store.blob_bytes().count(), 2u);
+  EXPECT_EQ(store.blob_bytes().sum(), 70.0 + 20.0);
+  EXPECT_EQ(store.blob_bytes().max(), 70.0);
+  ASSERT_EQ(store.evicted_blob_bytes().count(), 1u);
+  EXPECT_EQ(store.evicted_blob_bytes().max(), 90.0);
+  // The accounted distribution matches the bytes actually resident.
+  EXPECT_EQ(store.bytes(), 90u);
+  EXPECT_EQ(store.evictions(), 1u);
+}
+
+TEST(ServiceFailover, FailoverTargetSkipsDownShards) {
+  // heat[s] = {horizon, down_until}; the orphan re-offers at t=100.
+  bool migrated = false;
+
+  // Healthy fleet, heir cool enough: ring successor wins, no migration.
+  {
+    const std::vector<ShardHeat> heat{{50, 0}, {60, 0}, {55, 0}};
+    EXPECT_EQ(failover_target(0, 100, heat, 1'000, &migrated), 1u);
+    EXPECT_FALSE(migrated);
+  }
+
+  // Regression: the heir itself is still inside its crash downtime — the
+  // ring walk must step past it to the next up shard.
+  {
+    const std::vector<ShardHeat> heat{{50, 0}, {10, 500}, {55, 0}};
+    EXPECT_EQ(failover_target(0, 100, heat, 1'000, &migrated), 2u);
+    EXPECT_FALSE(migrated);
+  }
+
+  // Regression: a freshly-crashed shard's flushed queue makes it the
+  // coolest in the fleet precisely while it refuses work (here shards 0
+  // and 2, horizons 50 and 5, both still down at t=100). The rebalancer
+  // must steer to the coolest *up* shard, not bounce the orphan onto a
+  // down one for another round of backoff.
+  {
+    const std::vector<ShardHeat> heat{
+        {50, 500}, {9'000, 0}, {5, 500}, {80, 0}};
+    EXPECT_EQ(failover_target(0, 100, heat, 1'000, &migrated), 3u);
+    EXPECT_TRUE(migrated);
+  }
+
+  // Heir hot, coolest up shard within the gap: stay on the heir.
+  {
+    const std::vector<ShardHeat> heat{
+        {50, 500}, {900, 0}, {5, 500}, {800, 0}};
+    EXPECT_EQ(failover_target(0, 100, heat, 1'000, &migrated), 1u);
+    EXPECT_FALSE(migrated);
+  }
+
+  // Whole fleet down: the walks degenerate to the legacy all-shard scan —
+  // the orphan queues and waits, so the coolest shard still wins.
+  {
+    const std::vector<ShardHeat> heat{{50, 999}, {9'000, 999}, {5, 999}};
+    EXPECT_EQ(failover_target(0, 100, heat, 1'000, &migrated), 2u);
+    EXPECT_TRUE(migrated);
+    const std::vector<ShardHeat> flat{{50, 999}, {60, 999}, {55, 999}};
+    EXPECT_EQ(failover_target(0, 100, flat, 1'000, &migrated), 1u);
+    EXPECT_FALSE(migrated);
+  }
 }
 
 TEST(ServiceFailover, CrashStormHasZeroVerdictDivergence) {
@@ -438,6 +511,59 @@ TEST(ServiceFailover, RebalancerMigratesOffHotShardsUnderZipfSkew) {
   // Migration decisions live on the fleet clock: identical for any jobs.
   Service wide(cfg, cache, 8);
   EXPECT_EQ(report_json(cfg, rep), report_json(cfg, wide.run(reqs)));
+}
+
+TEST(ServiceFailover, StormKeepsTenantTelemetryStreamsIntact) {
+  // The telemetry contract under faults: a tenant's stream ticks on the
+  // stream clock (origin arrival + session time), samples stage per
+  // quantum and only commit at checkpoint boundaries, and a fault
+  // interrupt discards the staged tail — the restored session re-executes
+  // that work and re-emits it byte-identically. So the storm fleet's
+  // per-tenant (at_ps, score, flagged) streams must equal the fault-free
+  // fleet's exactly; only the health markers (restore events) may differ.
+  auto cache = shared_cache();
+  auto cfg = base_config();
+
+  Service clean_service(cfg, cache, 1);
+  const auto clean = clean_service.run(sample_requests());
+
+  auto storm_cfg = cfg;
+  storm_cfg.serve_faults = crash_storm();
+  storm_cfg.retry_budget = 4;
+  storm_cfg.checkpoint_every = 2;
+  Service storm_service(storm_cfg, cache, 1);
+  const auto storm = storm_service.run(sample_requests());
+
+  ASSERT_TRUE(clean.telemetry);
+  ASSERT_TRUE(storm.telemetry);
+  EXPECT_GT(storm.shard_crashes, 0u);
+  EXPECT_EQ(storm.sessions_shed, 0u);
+
+  EXPECT_EQ(storm.telemetry->tenants(), clean.telemetry->tenants());
+  EXPECT_EQ(storm.telemetry->samples(), clean.telemetry->samples());
+  EXPECT_EQ(storm.telemetry->flagged(), clean.telemetry->flagged());
+  for (const auto& [tenant, stream] : clean.telemetry->streams()) {
+    const auto want = telemetry::series(*clean.telemetry, tenant, 0, 0,
+                                        ~sim::Picoseconds{0});
+    const auto got = telemetry::series(*storm.telemetry, tenant, 0, 0,
+                                       ~sim::Picoseconds{0});
+    ASSERT_EQ(got.points.size(), want.points.size()) << tenant;
+    for (std::size_t i = 0; i < want.points.size(); ++i) {
+      EXPECT_EQ(got.points[i].at_ps, want.points[i].at_ps) << tenant;
+      EXPECT_EQ(got.points[i].score, want.points[i].score) << tenant;
+      EXPECT_EQ(got.points[i].flagged, want.points[i].flagged) << tenant;
+    }
+  }
+
+  // The restore markers land in the storm streams only.
+  std::uint64_t storm_health = 0;
+  for (const auto& [tenant, stream] : storm.telemetry->streams()) {
+    storm_health += stream.health;
+  }
+  EXPECT_GE(storm_health, 0u);
+  for (const auto& [tenant, stream] : clean.telemetry->streams()) {
+    EXPECT_EQ(stream.health, 0u) << tenant;
+  }
 }
 
 TEST(ServiceFailover, FaultFreeFleetEmitsLegacyDocument) {

@@ -19,6 +19,7 @@
 #include "rtad/core/detection_session.hpp"
 #include "rtad/core/experiment_runner.hpp"
 #include "rtad/serve/service.hpp"
+#include "rtad/telemetry/query.hpp"
 
 namespace rtad::serve {
 namespace {
@@ -170,11 +171,64 @@ TEST(Service, ReportIdenticalAcrossWorkerCountsAndQuantum) {
   const auto parallel = run_with(8, 2 * sim::kPsPerMs);
   EXPECT_EQ(serial, parallel) << "worker count leaked into the serve report";
 
-  // The quantum echoes in the config section; results must not move.
+  // The quantum echoes in the config section; results must not move. The
+  // telemetry section is the one deliberate exception — it samples once
+  // per quantum, which is why it sits last in the document: everything
+  // before it (fleet counters, SLOs, depth distribution) must be
+  // quantum-invariant, so compare that prefix.
   const auto fine = run_with(1, 700 * sim::kPsPerUs);
-  const auto at = [](const std::string& s) { return s.find("\"fleet\""); };
-  EXPECT_EQ(serial.substr(at(serial)), fine.substr(at(fine)))
+  const auto invariant = [](const std::string& s) {
+    const auto from = s.find("\"fleet\"");
+    const auto to = s.find("\"telemetry\"");
+    EXPECT_NE(from, std::string::npos);
+    EXPECT_NE(to, std::string::npos);
+    return s.substr(from, to - from);
+  };
+  EXPECT_EQ(invariant(serial), invariant(fine))
       << "advance() quantum leaked into results";
+}
+
+TEST(Service, TelemetrySectionIsOrderedAndJobsInvariant) {
+  auto cache = shared_cache();
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.lanes = 1;
+  cfg.queue_capacity = 8;
+  cfg.detection.trace_path.clear();
+  cfg.detection.metrics_path.clear();
+
+  Service service(cfg, cache, 1);
+  const auto report = service.run(sample_requests());
+  ASSERT_TRUE(report.telemetry);
+  const telemetry::TelemetryStore& tel = *report.telemetry;
+
+  // Every completed session left a stream; streams tick on the stream
+  // clock (origin arrival + session time), non-decreasing per tenant (a
+  // tenant's concurrent sessions may tick the same instant — distinct
+  // tickets keep both samples).
+  EXPECT_EQ(tel.tenants(), 4u);
+  EXPECT_GT(tel.samples(), 0u);
+  for (const auto& [tenant, stream] : tel.streams()) {
+    const auto series =
+        telemetry::series(tel, tenant, 0, 0, ~sim::Picoseconds{0});
+    ASSERT_FALSE(series.points.empty()) << tenant;
+    for (std::size_t i = 1; i < series.points.size(); ++i) {
+      EXPECT_GE(series.points[i].at_ps, series.points[i - 1].at_ps) << tenant;
+    }
+    EXPECT_EQ(stream.samples, series.points.size()) << tenant;
+  }
+
+  // The ranked query is a total order over the store, and the whole
+  // document — telemetry included — is byte-identical across worker
+  // counts (per-shard single-writer rings merged in shard-index order).
+  const auto ranked = telemetry::rank_tenants(tel);
+  EXPECT_EQ(ranked.size(), tel.tenants());
+  const std::string json = report_json(cfg, report);
+  EXPECT_NE(json.find("\"telemetry\""), std::string::npos);
+  EXPECT_NE(json.find("serve.telemetry_samples"), std::string::npos);
+  Service wide(cfg, cache, 8);
+  EXPECT_EQ(json, report_json(cfg, wide.run(sample_requests())))
+      << "worker count leaked into the telemetry section";
 }
 
 TEST(Service, OutcomesComeBackInSubmissionOrderWithExactTimes) {
@@ -312,14 +366,43 @@ TEST(Admission, ShedsNewestWhenFull) {
   EXPECT_EQ(admission.shed(), 1u);
   EXPECT_EQ(admission.degraded(), 0u);
   EXPECT_EQ(admission.depth(), 2u);
-  // Depth is sampled before each arrival's own admission: 0, 1, 2.
+  // Depth is sampled after each arrival's own verdict: the two admits see
+  // occupancy 1 and 2 (themselves included), the shed sees the full queue
+  // — 1, 2, 2.
   ASSERT_EQ(admission.depth_seen().count(), 3u);
-  EXPECT_EQ(admission.depth_seen().min(), 0.0);
+  EXPECT_EQ(admission.depth_seen().min(), 1.0);
   EXPECT_EQ(admission.depth_seen().max(), 2.0);
   // FIFO drain; nothing was reordered.
   EXPECT_FALSE(admission.next()->degraded);
   EXPECT_FALSE(admission.next()->degraded);
   EXPECT_FALSE(admission.next().has_value());
+}
+
+TEST(Admission, DepthDistributionReachesCapacityExactlyWhenShedding) {
+  // Regression: offer() used to sample the depth *before* its own
+  // try_push, so a saturated capacity-C queue reported max depth C-1 —
+  // every sample taken while sheds were happening undercounted by one and
+  // the distribution could never show the queue full. Post-verdict
+  // sampling makes max == capacity iff at least one offer shed.
+  AdmissionConfig cfg;
+  cfg.queue_capacity = 3;
+  cfg.policy = OverloadPolicy::kShed;
+  AdmissionController admission(cfg);
+
+  SessionRequest req;
+  req.tenant = "t";
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(admission.offer(req), AdmissionController::Verdict::kAccepted);
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(admission.offer(req), AdmissionController::Verdict::kShed);
+  }
+  ASSERT_EQ(admission.depth_seen().count(), 7u);
+  EXPECT_EQ(admission.depth_seen().max(),
+            static_cast<double>(cfg.queue_capacity))
+      << "a full queue must be visible in the depth distribution";
+  // Each shed observed the whole capacity-3 queue: samples 1,2,3,3,3,3,3.
+  EXPECT_EQ(admission.depth_seen().sum(), 1.0 + 2.0 + 3.0 * 5);
 }
 
 TEST(Admission, DegradesAboveWatermarkAndStillBoundsTheQueue) {
