@@ -48,6 +48,10 @@ struct SocConfig {
   EngineKind engine = EngineKind::kMlMiaow;
   ModelKind model = ModelKind::kLstm;
   std::uint64_t seed = 1;
+  /// Where on the profile's drift timeline this SoC's workload starts (the
+  /// serve layer passes the session's fleet arrival). Irrelevant — and the
+  /// run byte-identical — when the profile carries no active schedule.
+  std::uint64_t drift_base_ps = 0;
   ClockPlan clocks{};
   /// Trace packet grammar spoken across the whole frontend (trace source,
   /// TPIU bytes, TA decoder); overridable per-process with

@@ -25,33 +25,43 @@ std::vector<float> lstm_ewma_scores(const ml::Lstm& lstm,
 }  // namespace
 
 TrainedModels train_models(const workloads::SpecProfile& profile,
-                           const TrainingOptions& options) {
+                           const TrainingOptions& options,
+                           std::uint64_t drift_at_ps) {
   TrainedModels out;
-  out.features =
-      std::make_unique<ml::DatasetBuilder>(profile, options.seed);
+  out.features = std::make_unique<ml::DatasetBuilder>(
+      profile, options.seed, ml::FeatureConfig{}, drift_at_ps);
+  train_model_side(out, ModelKind::kLstm, options);
+  train_model_side(out, ModelKind::kElm, options);
+  return out;
+}
+
+void train_model_side(TrainedModels& out, ModelKind kind,
+                      const TrainingOptions& options) {
   const auto& fcfg = out.features->config();
+  if (kind == ModelKind::kLstm) {
+    ml::LstmConfig lstm_cfg = options.lstm;
+    lstm_cfg.vocab = fcfg.lstm_vocab;
+    out.lstm = std::make_unique<ml::Lstm>(lstm_cfg);
+    auto lstm_data = out.features->collect_lstm(options.lstm_train_tokens +
+                                                options.lstm_val_tokens);
+    std::vector<std::uint32_t> train_tokens(
+        lstm_data.tokens.begin(),
+        lstm_data.tokens.begin() +
+            static_cast<long>(options.lstm_train_tokens));
+    std::vector<std::uint32_t> val_tokens(
+        lstm_data.tokens.begin() +
+            static_cast<long>(options.lstm_train_tokens),
+        lstm_data.tokens.end());
+    out.lstm_train_final_nll = out.lstm->train(train_tokens);
+    out.lstm_val_mean_nll = out.lstm->evaluate(val_tokens);
+    const auto ewma = lstm_ewma_scores(*out.lstm, val_tokens);
+    out.lstm_threshold = ml::Threshold::calibrate(
+        ewma, options.threshold_percentile, options.threshold_margin);
+    out.lstm_image = ml::compile_lstm(*out.lstm, out.lstm_threshold,
+                                      out.lstm_val_mean_nll);
+    return;
+  }
 
-  // ---- LSTM ----
-  ml::LstmConfig lstm_cfg = options.lstm;
-  lstm_cfg.vocab = fcfg.lstm_vocab;
-  out.lstm = std::make_unique<ml::Lstm>(lstm_cfg);
-  auto lstm_data = out.features->collect_lstm(options.lstm_train_tokens +
-                                              options.lstm_val_tokens);
-  std::vector<std::uint32_t> train_tokens(
-      lstm_data.tokens.begin(),
-      lstm_data.tokens.begin() + static_cast<long>(options.lstm_train_tokens));
-  std::vector<std::uint32_t> val_tokens(
-      lstm_data.tokens.begin() + static_cast<long>(options.lstm_train_tokens),
-      lstm_data.tokens.end());
-  out.lstm_train_final_nll = out.lstm->train(train_tokens);
-  out.lstm_val_mean_nll = out.lstm->evaluate(val_tokens);
-  const auto ewma = lstm_ewma_scores(*out.lstm, val_tokens);
-  out.lstm_threshold = ml::Threshold::calibrate(
-      ewma, options.threshold_percentile, options.threshold_margin);
-  out.lstm_image = ml::compile_lstm(*out.lstm, out.lstm_threshold,
-                                    out.lstm_val_mean_nll);
-
-  // ---- ELM ----
   ml::ElmConfig elm_cfg = options.elm;
   elm_cfg.input_dim = fcfg.elm_vocab;
   out.elm = std::make_unique<ml::Elm>(elm_cfg);
@@ -70,7 +80,6 @@ TrainedModels train_models(const workloads::SpecProfile& profile,
       val_scores, options.threshold_percentile, options.threshold_margin);
   out.elm_image =
       ml::compile_elm(*out.elm, out.elm_threshold, fcfg.elm_window);
-  return out;
 }
 
 double measure_overhead(const workloads::SpecProfile& profile,

@@ -48,8 +48,65 @@ struct TrainedModels {
   }
 };
 
+/// `drift_at_ps` is the drift-schedule instant the training snapshot is
+/// taken at (see ml::DatasetBuilder) — the ensemble layer trains each
+/// generation on the trailing window of the drifting workload. 0 (and any
+/// value, on a profile without an active schedule) reproduces the frozen
+/// baseline training bit-for-bit.
 TrainedModels train_models(const workloads::SpecProfile& profile,
-                           const TrainingOptions& options = {});
+                           const TrainingOptions& options = {},
+                           std::uint64_t drift_at_ps = 0);
+
+/// Train one model side (host model, threshold, device image) into `out`,
+/// whose `features` must already be built. Factored out of train_models()
+/// so the ensemble layer can retrain only the deployed kind per generation
+/// without paying for the other side; calling it for both kinds reproduces
+/// train_models() bit-for-bit (the two sides draw from independent RNG
+/// streams).
+void train_model_side(TrainedModels& out, ModelKind kind,
+                      const TrainingOptions& options);
+
+// ------------------------------------------------------------- ensembles
+
+/// Rolling-ensemble shape of a detection run. Inert by default: with
+/// retrain_ps == 0 no ensemble is attached and the session is byte-
+/// identical to a build without the ensemble layer. When active, the
+/// member set at session time T is the `size` most recent generations
+/// {G-size+1 .. G} (clamped at 0) where G = (base_ps + T) / retrain_ps —
+/// a pure function of simulated time, so member rolls land at the same
+/// instants for any advance() chunking, scheduler, backend or job count.
+struct EnsembleParams {
+  std::uint32_t size = 1;    ///< member generations kept live
+  std::uint32_t quorum = 0;  ///< members that must flag; 0 = all of them
+  sim::Picoseconds retrain_ps = 0;  ///< generation cadence; 0 = inert
+  sim::Picoseconds window_ps = 0;   ///< training window; 0 = retrain_ps
+  sim::Picoseconds base_ps = 0;     ///< fleet-time origin of the schedule
+
+  bool active() const noexcept { return retrain_ps != 0 && size != 0; }
+  std::uint32_t generation_at(sim::Picoseconds session_ps) const noexcept {
+    return active() ? static_cast<std::uint32_t>((base_ps + session_ps) /
+                                                 retrain_ps)
+                    : 0;
+  }
+  /// Drift-snapshot instant generation `gen` trains at: the start of its
+  /// trailing training window (activation minus window, clamped at 0).
+  sim::Picoseconds training_snapshot_ps(std::uint32_t gen) const noexcept {
+    const sim::Picoseconds w = window_ps != 0 ? window_ps : retrain_ps;
+    const sim::Picoseconds activate =
+        static_cast<sim::Picoseconds>(gen) * retrain_ps;
+    return activate > w ? activate - w : 0;
+  }
+};
+
+/// Where a session fetches member generations from. Implemented by
+/// ensemble::EnsembleManager; generation(g) blocks until generation g of
+/// the session's (benchmark, model kind) is trained (generation 0 is the
+/// frozen anchor). References stay valid for the source's lifetime.
+class EnsembleSource {
+ public:
+  virtual ~EnsembleSource() = default;
+  virtual const TrainedModels& generation(std::uint32_t gen) = 0;
+};
 
 // ------------------------------------------------------------------ Fig. 6
 
@@ -125,6 +182,15 @@ struct DetectionResult {
   std::uint64_t irqs_lost = 0;              ///< swallowed anomaly IRQs
   std::uint64_t fault_events = 0;           ///< injector fires, all sites
 
+  // --- rolling ensemble (all zero when no ensemble is attached) ---
+  std::uint32_t ensemble_size = 0;        ///< configured members; 0 = inert
+  std::uint64_t ensemble_swaps = 0;       ///< member-set rolls applied
+  std::uint64_t consensus_flags = 0;      ///< quorum-backed anomaly flags
+  /// Device (anchor) flags the member quorum vetoed — the ensemble's
+  /// false-positive suppression at work.
+  std::uint64_t consensus_overrides = 0;
+  std::uint64_t member_evals = 0;         ///< member model evaluations run
+
   /// Per-component cycle accounts (empty unless the run enabled the
   /// observability layer). For every attached component the buckets sum to
   /// the component's domain-cycle count, independent of scheduler mode.
@@ -175,6 +241,10 @@ struct DetectionOptions {
   /// Collect per-component cycle accounts into
   /// DetectionResult::cycle_accounts even when no file export is set.
   bool cycle_accounts = false;
+
+  /// Rolling-ensemble shape (inert by default). Active params require an
+  /// EnsembleSource on the DetectionSession that runs these options.
+  EnsembleParams ensemble{};
 };
 
 DetectionResult measure_detection(const workloads::SpecProfile& profile,

@@ -77,6 +77,20 @@ void write_metrics_json(
     w.end_object();
   }
 
+  // Rolling-ensemble accounting. Emitted only when an ensemble was
+  // attached: inert runs keep the exact pre-ensemble schema, same
+  // precedent as the protocol-gated trace section above.
+  if (result.ensemble_size != 0) {
+    w.key("ensemble");
+    w.begin_object();
+    w.field("size", static_cast<std::uint64_t>(result.ensemble_size));
+    w.field("swaps", result.ensemble_swaps);
+    w.field("consensus_flags", result.consensus_flags);
+    w.field("consensus_overrides", result.consensus_overrides);
+    w.field("member_evals", result.member_evals);
+    w.end_object();
+  }
+
   // Elapsed cycles per clock domain (skip replay included, so these match
   // floor(simulated_ps / period) regardless of scheduler mode).
   w.key("domains");

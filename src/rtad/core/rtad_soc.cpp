@@ -47,8 +47,9 @@ RtadSoc::RtadSoc(SocConfig config, const ml::ModelImage* image,
   }
 
   // --- workload + attack path ---
-  generator_ = std::make_unique<workloads::TraceGenerator>(config_.profile,
-                                                           config_.seed);
+  generator_ = std::make_unique<workloads::TraceGenerator>(
+      config_.profile, config_.seed,
+      workloads::DriftCursor{config_.drift_base_ps, /*frozen=*/false});
   generator_source_ = std::make_unique<cpu::GeneratorSource>(*generator_);
 
   std::vector<std::uint64_t> pool;

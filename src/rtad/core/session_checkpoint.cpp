@@ -175,6 +175,13 @@ std::vector<std::uint8_t> SessionCheckpoint::serialize() const {
   w.u8(options.faults.has_value() ? 1 : 0);
   if (options.faults.has_value()) write_fault_plan(w, *options.faults);
 
+  // v2: rolling-ensemble shape (the member set replays from these).
+  w.u32(options.ensemble.size);
+  w.u32(options.ensemble.quorum);
+  w.u64(options.ensemble.retrain_ps);
+  w.u64(options.ensemble.window_ps);
+  w.u64(options.ensemble.base_ps);
+
   w.u64(progress_ps);
   w.u64(score_digest);
   w.u64(anomaly_flags);
@@ -184,6 +191,13 @@ std::vector<std::uint8_t> SessionCheckpoint::serialize() const {
   w.u64(false_positives);
   w.u8(phase);
   w.u8(done ? 1 : 0);
+
+  // v2: ensemble progress cursors.
+  w.u32(ensemble_generation);
+  w.u64(ensemble_swaps);
+  w.u64(consensus_flags);
+  w.u64(consensus_overrides);
+  w.u64(member_evals);
   return std::move(w).finish();
 }
 
@@ -205,10 +219,23 @@ SessionCheckpoint SessionCheckpoint::parse(const std::uint8_t* data,
   }
 
   Reader r(data, size - 8);
+  char magic[9] = {};
   for (std::size_t i = 0; i < 8; ++i) {
-    if (r.u8() != static_cast<std::uint8_t>(kMagic[i])) {
-      throw CheckpointError("SessionCheckpoint: bad magic/version");
-    }
+    magic[i] = static_cast<char>(r.u8());
+  }
+  int version = 0;
+  if (std::memcmp(magic, kMagic, 8) == 0) {
+    version = 2;
+  } else if (std::memcmp(magic, kMagicV1, 8) == 0) {
+    version = 1;
+  } else if (std::memcmp(magic, kMagic, 7) == 0) {
+    // A well-formed RTADCKP tag from a future (or corrupted) layout: name
+    // the version so operators see a format skew, not generic corruption.
+    throw CheckpointError(
+        std::string("SessionCheckpoint: unknown checkpoint version '") +
+        magic + "'");
+  } else {
+    throw CheckpointError("SessionCheckpoint: bad magic/version");
   }
 
   SessionCheckpoint ckpt;
@@ -234,6 +261,15 @@ SessionCheckpoint SessionCheckpoint::parse(const std::uint8_t* data,
     ckpt.options.faults.reset();
   }
 
+  if (version >= 2) {
+    ckpt.options.ensemble.size = r.u32();
+    ckpt.options.ensemble.quorum = r.u32();
+    ckpt.options.ensemble.retrain_ps = r.u64();
+    ckpt.options.ensemble.window_ps = r.u64();
+    ckpt.options.ensemble.base_ps = r.u64();
+  }
+  // v1 blobs keep the inert defaults: a single-model generation-0 ensemble.
+
   ckpt.progress_ps = r.u64();
   ckpt.score_digest = r.u64();
   ckpt.anomaly_flags = r.u64();
@@ -243,6 +279,13 @@ SessionCheckpoint SessionCheckpoint::parse(const std::uint8_t* data,
   ckpt.false_positives = r.u64();
   ckpt.phase = r.u8();
   ckpt.done = r.u8() != 0;
+  if (version >= 2) {
+    ckpt.ensemble_generation = r.u32();
+    ckpt.ensemble_swaps = r.u64();
+    ckpt.consensus_flags = r.u64();
+    ckpt.consensus_overrides = r.u64();
+    ckpt.member_evals = r.u64();
+  }
   if (r.remaining() != 0) {
     throw CheckpointError("SessionCheckpoint: trailing bytes");
   }

@@ -16,7 +16,8 @@
 //
 // The blob is byte-stable: fixed field order, little-endian integers, IEEE
 // bit patterns for doubles, length-prefixed strings, a leading format magic
-// ("RTADCKP1") and a trailing FNV-1a digest. Progress cursors (score
+// ("RTADCKP2"; v1 blobs still parse — see kMagic) and a trailing FNV-1a
+// digest. Progress cursors (score
 // digest, flag/inference/IRQ counts, phase) ride along purely as an
 // integrity proof: restore() replays first, then cross-checks every cursor
 // and throws CheckpointError on any mismatch, so a corrupted or mismatched
@@ -55,8 +56,13 @@ class CheckpointError : public std::runtime_error {
 /// resurrect with DetectionSession::restore().
 struct SessionCheckpoint {
   /// Format tag serialized at the front of every blob; bump on any layout
-  /// change (parse rejects unknown tags rather than misreading them).
-  static constexpr char kMagic[9] = "RTADCKP1";
+  /// change. serialize() always writes the current version (v2: ensemble
+  /// params + cursors); parse() additionally accepts v1 blobs — a v1 blob
+  /// restores with inert ensemble options, i.e. as a single-model
+  /// generation-0 ensemble — and raises a named unknown-version error on
+  /// any other RTADCKP tag rather than misreading it.
+  static constexpr char kMagic[9] = "RTADCKP2";
+  static constexpr char kMagicV1[9] = "RTADCKP1";
 
   std::string benchmark;  ///< cache key for profile + trained models
   ModelKind model = ModelKind::kLstm;
@@ -75,6 +81,16 @@ struct SessionCheckpoint {
   std::uint64_t false_positives = 0;
   std::uint8_t phase = 0;  ///< DetectionSession::Phase at the boundary
   bool done = false;
+
+  // --- ensemble cursors (v2; all zero for inert-ensemble sessions and for
+  // parsed v1 blobs) --- the member set itself is not serialized: it is a
+  // pure function of (options.ensemble, progress_ps), and restore()'s
+  // replay re-runs every member evaluation, then cross-checks these.
+  std::uint32_t ensemble_generation = 0;  ///< newest live generation
+  std::uint64_t ensemble_swaps = 0;
+  std::uint64_t consensus_flags = 0;
+  std::uint64_t consensus_overrides = 0;
+  std::uint64_t member_evals = 0;
 
   /// Byte-stable encoding (see file comment for the format contract).
   std::vector<std::uint8_t> serialize() const;

@@ -1,0 +1,65 @@
+#include "rtad/ensemble/ensemble_manager.hpp"
+
+#include <stdexcept>
+
+#include "rtad/core/env.hpp"
+#include "rtad/sim/time.hpp"
+
+namespace rtad::ensemble {
+
+core::EnsembleParams params_from_env() {
+  core::EnsembleParams p;
+  p.size = static_cast<std::uint32_t>(
+      core::env::positive_or("RTAD_ENSEMBLE_SIZE", 1));
+  p.quorum = static_cast<std::uint32_t>(
+      core::env::u64_or("RTAD_ENSEMBLE_QUORUM", 0));
+  p.retrain_ps =
+      core::env::u64_or("RTAD_ENSEMBLE_RETRAIN_US", 0) * sim::kPsPerUs;
+  p.window_ps = core::env::u64_or("RTAD_ENSEMBLE_WINDOW", 0) * sim::kPsPerUs;
+  if (p.quorum > p.size) {
+    throw std::invalid_argument(
+        "RTAD_ENSEMBLE_QUORUM (" + std::to_string(p.quorum) +
+        ") exceeds RTAD_ENSEMBLE_SIZE (" + std::to_string(p.size) + ")");
+  }
+  return p;
+}
+
+EnsembleManager::EnsembleManager(
+    std::shared_ptr<core::TrainedModelCache> base, core::EnsembleParams params,
+    sim::ThreadPool* pool)
+    : params_(params), cache_(std::move(base), params), pool_(pool) {}
+
+core::EnsembleSource& EnsembleManager::source(const std::string& benchmark,
+                                              core::ModelKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot =
+      sources_[std::pair{benchmark, static_cast<std::uint8_t>(kind)}];
+  if (!slot) slot = std::make_unique<Source>(this, benchmark, kind);
+  return *slot;
+}
+
+void EnsembleManager::prefetch(const std::string& benchmark,
+                               core::ModelKind kind,
+                               std::uint32_t up_to_generation) {
+  for (std::uint32_t gen = 1; gen <= up_to_generation; ++gen) {
+    if (pool_ == nullptr) {
+      cache_.get(benchmark, kind, gen);
+      continue;
+    }
+    auto fut = pool_->submit(
+        [this, benchmark, kind, gen] { cache_.get(benchmark, kind, gen); });
+    std::lock_guard<std::mutex> lock(mutex_);
+    prefetches_.push_back(std::move(fut));
+  }
+}
+
+void EnsembleManager::drain() {
+  std::vector<std::future<void>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending.swap(prefetches_);
+  }
+  for (auto& f : pending) f.get();
+}
+
+}  // namespace rtad::ensemble

@@ -1,0 +1,50 @@
+#include "rtad/ensemble/generation_cache.hpp"
+
+#include <chrono>
+
+namespace rtad::ensemble {
+
+GenerationCache::GenerationCache(
+    std::shared_ptr<core::TrainedModelCache> base, core::EnsembleParams params)
+    : base_(std::move(base)), params_(params) {}
+
+const core::TrainedModels& GenerationCache::get(const std::string& benchmark,
+                                                core::ModelKind kind,
+                                                std::uint32_t generation) {
+  if (generation == 0) return base_->get(benchmark);
+
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = entries_[Key{benchmark, static_cast<std::uint8_t>(kind),
+                              generation}];
+    if (!slot) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  std::call_once(entry->once, [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const workloads::SpecProfile profile = base_->profile(benchmark);
+    const core::TrainingOptions& opts = base_->options();
+    auto models = std::make_unique<core::TrainedModels>();
+    models->features = std::make_unique<ml::DatasetBuilder>(
+        profile, opts.seed, ml::FeatureConfig{},
+        params_.training_snapshot_ps(generation));
+    core::train_model_side(*models, kind, opts);
+    entry->models = std::move(models);
+    const auto t1 = std::chrono::steady_clock::now();
+    generations_trained_.fetch_add(1, std::memory_order_relaxed);
+    retrain_work_units_.fetch_add(
+        kind == core::ModelKind::kElm
+            ? opts.elm_train_windows + opts.elm_val_windows
+            : opts.lstm_train_tokens + opts.lstm_val_tokens,
+        std::memory_order_relaxed);
+    retrain_wall_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()),
+        std::memory_order_relaxed);
+  });
+  return *entry->models;
+}
+
+}  // namespace rtad::ensemble

@@ -180,6 +180,7 @@ void Mcm::tick() {
       rec.injected = current_.injected;
       rec.event_retired_ps = current_.origin_ps;
       rec.completed_ps = local_time_ps();
+      rec.input = &current_;
       stall_cycles_ = converter_.transfer_cycles(2)  // RX engine: 2 words
                       + bus_.consume_fault_penalty();
       stall_bucket_ = obs::CycleBucket::kStallBus;  // RX serialization

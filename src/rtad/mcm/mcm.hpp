@@ -64,6 +64,11 @@ struct InferenceRecord {
   bool irq_suppressed = false;
   sim::Picoseconds event_retired_ps = 0;
   sim::Picoseconds completed_ps = 0;
+  /// The input vector this inference consumed (not owned; valid only for
+  /// the duration of the observer/handler call). Host-side consumers —
+  /// the ensemble layer's member models — re-score the same input the
+  /// device scored.
+  const igm::InputVector* input = nullptr;
   sim::Picoseconds latency_ps() const noexcept {
     return completed_ps - event_retired_ps;
   }

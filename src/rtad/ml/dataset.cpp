@@ -7,8 +7,13 @@
 namespace rtad::ml {
 
 DatasetBuilder::DatasetBuilder(const workloads::SpecProfile& profile,
-                               std::uint64_t seed, FeatureConfig config)
-    : config_(config), seed_(seed), generator_(profile, seed) {
+                               std::uint64_t seed, FeatureConfig config,
+                               std::uint64_t drift_at_ps)
+    : config_(config),
+      seed_(seed),
+      drift_at_ps_(drift_at_ps),
+      generator_(profile, seed,
+                 workloads::DriftCursor{drift_at_ps, /*frozen=*/true}) {
   // Pick an *index-contiguous* window of `monitored_sites` functions (a
   // "module" of the program — the call walk's locality lives in index
   // space) whose combined call rate matches the target. Contiguity is what
@@ -85,6 +90,11 @@ ElmDataset DatasetBuilder::collect_elm(std::size_t n_windows) {
   const auto& profile = generator_.profile();
   sim::Xoshiro256 rng(seed_ ^ 0xE1'AA'00'77ULL);
   sim::ZipfSampler zipf(profile.syscall_kinds, profile.syscall_zipf_skew);
+  // Apply the drift schedule's syscall rotation at the frozen snapshot
+  // phase — direct sampling must match what the generator would emit there.
+  const std::uint32_t drift_ph = profile.drift.phase_at_ps(drift_at_ps_);
+  const std::size_t rotate =
+      static_cast<std::size_t>(drift_ph) * profile.drift.syscall_rotate;
 
   ElmDataset ds;
   ds.windows.reserve(n_windows);
@@ -92,8 +102,8 @@ ElmDataset DatasetBuilder::collect_elm(std::size_t n_windows) {
   std::vector<std::uint32_t> counts(config_.elm_vocab, 0);
   const float scale = 1.0f / static_cast<float>(config_.elm_window);
   while (ds.windows.size() < n_windows) {
-    const std::uint64_t addr =
-        workloads::TraceGenerator::syscall_address(zipf.sample(rng));
+    const std::uint64_t addr = workloads::TraceGenerator::syscall_address(
+        (zipf.sample(rng) + rotate) % profile.syscall_kinds);
     const std::uint32_t bucket = elm_bucket(addr);
     window.push_back(bucket);
     ++counts[bucket];

@@ -53,8 +53,13 @@ struct ElmDataset {
 
 class DatasetBuilder {
  public:
+  /// `drift_at_ps` is the drift-schedule instant the training snapshot is
+  /// taken at: the builder's generator runs with the phase *frozen* there
+  /// (offline collection spans far more nominal time than any drift phase,
+  /// so letting it drift would smear phases together). Irrelevant — and the
+  /// builder byte-identical — when the profile carries no active schedule.
   DatasetBuilder(const workloads::SpecProfile& profile, std::uint64_t seed,
-                 FeatureConfig config = {});
+                 FeatureConfig config = {}, std::uint64_t drift_at_ps = 0);
 
   /// Call-target addresses the LSTM model monitors (most popular function
   /// entries of the program; these populate the IGM lookup table).
@@ -86,6 +91,7 @@ class DatasetBuilder {
  private:
   FeatureConfig config_;
   std::uint64_t seed_;
+  std::uint64_t drift_at_ps_;
   workloads::TraceGenerator generator_;
   std::vector<std::uint64_t> monitored_;
 };

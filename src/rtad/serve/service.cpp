@@ -54,6 +54,7 @@ ServiceConfig ServiceConfig::from_env() {
     cfg.fault_seed = plan->seed;
   }
   cfg.telemetry = telemetry::StoreConfig::from_env();
+  cfg.ensemble = ensemble::params_from_env();
   const std::string proto = core::env::choice_or(
       "RTAD_SERVE_PROTO", {"pft", "etrace", "mixed"},
       fleet_protocol_name(cfg.proto));
@@ -117,6 +118,10 @@ Service::Service(ServiceConfig cfg,
                    : std::make_shared<core::TrainedModelCache>()),
       pool_(jobs) {
   if (cfg_.shards == 0) cfg_.shards = 1;
+  if (cfg_.ensemble.active()) {
+    ensembles_ = std::make_unique<ensemble::EnsembleManager>(
+        cache_, cfg_.ensemble, &pool_);
+  }
 }
 
 ServiceReport Service::run(std::vector<SessionRequest> requests) {
@@ -149,10 +154,12 @@ ServiceReport Service::run(std::vector<SessionRequest> requests) {
   scfg.fault_seed = cfg_.fault_seed;
   scfg.checkpoint_every = cfg_.checkpoint_every;
   scfg.checkpoint_cap_bytes = cfg_.checkpoint_cap_kb * 1024;
+  scfg.ensemble = cfg_.ensemble;
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(cfg_.shards);
   for (std::size_t s = 0; s < cfg_.shards; ++s) {
-    shards.push_back(std::make_unique<Shard>(s, scfg, cache_));
+    shards.push_back(
+        std::make_unique<Shard>(s, scfg, cache_, ensembles_.get()));
   }
   for (auto& req : requests) {
     shards[shard_of(req.tenant)]->enqueue(std::move(req));
@@ -234,6 +241,15 @@ ServiceReport Service::run(std::vector<SessionRequest> requests) {
     }
   }
 
+  // Join outstanding retrain prefetches before any counter is read: the
+  // trained-generation census must not depend on how far the pool got.
+  if (ensembles_) {
+    ensembles_->drain();
+    rep.generations_trained = ensembles_->generations_trained();
+    rep.retrain_work_units = ensembles_->retrain_work_units();
+    rep.retrain_wall_ns = ensembles_->retrain_wall_ns();
+  }
+
   for (std::size_t s = 0; s < shards.size(); ++s) {
     const ShardStats& st = shards[s]->stats();
     rep.sessions_offered += st.offered;
@@ -260,6 +276,10 @@ ServiceReport Service::run(std::vector<SessionRequest> requests) {
     rep.checkpoint_bytes.merge(st.checkpoint_bytes);
     rep.evicted_blob_bytes.merge(st.evicted_blob_bytes);
     rep.recovery_latency_us.merge(st.recovery_latency_us);
+    rep.ensemble_swaps += st.ensemble_swaps;
+    rep.consensus_flags += st.consensus_flags;
+    rep.consensus_overrides += st.consensus_overrides;
+    rep.member_evals += st.member_evals;
   }
 
   // Fleet telemetry: harvest every shard's committed records in shard-index
@@ -377,6 +397,27 @@ void write_serve_report(obs::JsonWriter& json, const ServiceConfig& cfg,
   json.field("serve.sessions_pft", report.sessions_pft);
   json.field("serve.sessions_etrace", report.sessions_etrace);
   json.end_object();
+  // The ensemble section exists only when the rolling ensemble is active —
+  // a plain configuration emits the exact legacy document. It sits in the
+  // quantum-invariant prefix (before telemetry): every counter here is a
+  // pure function of the arrival schedule.
+  if (cfg.ensemble.active()) {
+    json.key("ensemble").begin_object();
+    json.field("size", static_cast<std::uint64_t>(cfg.ensemble.size));
+    json.field("quorum", static_cast<std::uint64_t>(cfg.ensemble.quorum));
+    json.field("retrain_us", sim::to_us(cfg.ensemble.retrain_ps));
+    json.field("window_us",
+               sim::to_us(cfg.ensemble.window_ps != 0
+                              ? cfg.ensemble.window_ps
+                              : cfg.ensemble.retrain_ps));
+    json.field("serve.generations_trained", report.generations_trained);
+    json.field("serve.ensemble_swaps", report.ensemble_swaps);
+    json.field("serve.consensus_flags", report.consensus_flags);
+    json.field("serve.consensus_overrides", report.consensus_overrides);
+    json.field("serve.member_evals", report.member_evals);
+    json.field("serve.retrain_work_units", report.retrain_work_units);
+    json.end_object();
+  }
   // The failure-domain section exists only when the fleet can actually
   // fault or retry — a plain configuration emits the exact legacy document.
   const bool failure_domain =

@@ -38,6 +38,14 @@
 //   RTAD_TELEMETRY              telemetry spill file (see telemetry/)
 //   RTAD_TELEMETRY_CAP_KB       telemetry resident byte cap, KiB  (0=off)
 //   RTAD_TELEMETRY_PAGE         tier-0 samples per telemetry page   (64)
+//   RTAD_TELEMETRY_HALF_LIFE_US ranking recency half-life, simulated us;
+//                               0 = (window span)/4 (telemetry/query.hpp)
+//   RTAD_ENSEMBLE_SIZE          rolling-ensemble members per tenant  (1)
+//   RTAD_ENSEMBLE_QUORUM        members that must flag; 0 = all      (0)
+//   RTAD_ENSEMBLE_RETRAIN_US    retrain cadence, simulated us; 0
+//                               disables the ensemble layer          (0)
+//   RTAD_ENSEMBLE_WINDOW        training window, simulated us;
+//                               0 = the retrain cadence              (0)
 #pragma once
 
 #include <cstddef>
@@ -47,6 +55,7 @@
 #include <string_view>
 #include <vector>
 
+#include "rtad/ensemble/ensemble_manager.hpp"
 #include "rtad/serve/shard.hpp"
 #include "rtad/telemetry/store.hpp"
 
@@ -100,6 +109,13 @@ struct ServiceConfig {
   /// Fleet telemetry store shape (page size, byte cap, spill path). The
   /// store itself lives on the ServiceReport; ingestion is always on.
   telemetry::StoreConfig telemetry{};
+
+  /// Rolling-ensemble shape applied to every tenant session (PR 10).
+  /// from_env() resolves the RTAD_ENSEMBLE_* knobs; inactive by default —
+  /// the fleet then runs byte-identical to the pre-ensemble service.
+  /// base_ps is ignored here: each shard stamps it per request with the
+  /// origin arrival, anchoring the retrain cadence to the fleet clock.
+  core::EnsembleParams ensemble{};
 
   /// Resolve the RTAD_SERVE_* knobs (strict grammar; throws on malformed
   /// values). Unset knobs keep the defaults above.
@@ -182,6 +198,19 @@ struct ServiceReport {
   sim::Sampler evicted_blob_bytes;   ///< blob sizes the store caps shed
   sim::Sampler recovery_latency_us;  ///< orphaned → restored-start gap
 
+  // --- rolling ensemble (all zero when cfg.ensemble is inactive). The
+  // counters are harvested after the manager's drain(), so they are
+  // byte-identical across worker counts. retrain_wall_ns is the one
+  // host-dependent number: it never reaches the JSON document — benches
+  // report it in their trailing host section. ---
+  std::uint64_t ensemble_swaps = 0;
+  std::uint64_t consensus_flags = 0;
+  std::uint64_t consensus_overrides = 0;
+  std::uint64_t member_evals = 0;
+  std::uint64_t generations_trained = 0;
+  std::uint64_t retrain_work_units = 0;  ///< samples/windows consumed
+  std::uint64_t retrain_wall_ns = 0;     ///< host wall clock, off-document
+
   /// The fleet telemetry store: every tenant's sample stream, ingested in
   /// canonical order after the round loop. Always present after run();
   /// shared so sweep benches can keep several reports cheaply.
@@ -207,6 +236,8 @@ class Service {
     return shard_for(tenant, cfg_.shards);
   }
   core::TrainedModelCache& cache() noexcept { return *cache_; }
+  /// The fleet's ensemble manager; null when cfg.ensemble is inactive.
+  ensemble::EnsembleManager* ensembles() noexcept { return ensembles_.get(); }
 
   /// Serve one arrival schedule. Tickets are (re)assigned by position, so
   /// the caller's request order is the canonical submission order.
@@ -216,6 +247,7 @@ class Service {
   ServiceConfig cfg_;
   std::shared_ptr<core::TrainedModelCache> cache_;
   sim::ThreadPool pool_;
+  std::unique_ptr<ensemble::EnsembleManager> ensembles_;
 };
 
 /// Emit the `rtad.serve.v1` JSON document: config echo, fleet health

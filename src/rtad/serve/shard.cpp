@@ -1,6 +1,7 @@
 #include "rtad/serve/shard.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "rtad/core/detection_session.hpp"
@@ -23,12 +24,18 @@ struct RetryLater {
 }  // namespace
 
 Shard::Shard(std::size_t id, ShardConfig cfg,
-             std::shared_ptr<core::TrainedModelCache> cache)
+             std::shared_ptr<core::TrainedModelCache> cache,
+             ensemble::EnsembleManager* ensembles)
     : id_(id),
       cfg_(std::move(cfg)),
       cache_(std::move(cache)),
+      ensembles_(ensembles),
       admission_(cfg_.admission),
       store_(cfg_.checkpoint_cap_bytes) {
+  if (cfg_.ensemble.active() && ensembles_ == nullptr) {
+    throw std::invalid_argument(
+        "Shard: active ensemble config requires an EnsembleManager");
+  }
   if (cfg_.lanes == 0) cfg_.lanes = 1;
   lane_free_at_.assign(cfg_.lanes, 0);
   if (cfg_.serve_faults.any()) {
@@ -264,6 +271,21 @@ void Shard::dispatch(std::size_t lane, std::vector<SessionOutcome>& out) {
   const core::ModelKind model =
       req.degraded ? core::ModelKind::kElm : req.model;
 
+  // Rolling ensemble: the retrain cadence rides the fleet clock, anchored
+  // at the request's origin arrival — a pure function of the episode, so a
+  // failed-over session resumes the identical member schedule. Prefetch
+  // the initial member set plus the next generation onto the pool; a
+  // session that outruns the prefetch falls back to the cache's blocking
+  // get(), which changes wall clock but never results.
+  opts.ensemble = cfg_.ensemble;
+  opts.ensemble.base_ps = req.origin_arrival_ps;
+  core::EnsembleSource* ensemble_source = nullptr;
+  if (opts.ensemble.active()) {
+    ensemble_source = &ensembles_->source(req.benchmark, model);
+    ensembles_->prefetch(req.benchmark, model,
+                         opts.ensemble.generation_at(0) + 1);
+  }
+
   // Thaw or construct. A parked blob resurrects the exact session that was
   // orphaned (its own options, including any degrade decision made at its
   // original admission); an evicted entry (empty blob) restarts the
@@ -276,8 +298,17 @@ void Shard::dispatch(std::size_t lane, std::vector<SessionOutcome>& out) {
       const auto ckpt = core::SessionCheckpoint::parse(parked->blob);
       // Cache lookups key on the request's benchmark alias; restore()
       // cross-checks the resolved profile against the blob's full name.
+      // The blob's options carry the episode's own ensemble shape (base
+      // included), so the restored member schedule is the original one.
+      // The source is re-resolved against the blob's model kind: a
+      // degraded episode parked as ELM restores its ELM members.
+      core::EnsembleSource* restore_source = nullptr;
+      if (ckpt.options.ensemble.active()) {
+        restore_source = &ensembles_->source(req.benchmark, ckpt.model);
+      }
       session = core::DetectionSession::restore(
-          ckpt, cache_->profile(req.benchmark), cache_->get(req.benchmark));
+          ckpt, cache_->profile(req.benchmark), cache_->get(req.benchmark),
+          restore_source);
       recovered = true;
       ++stats_.recovered;
       stats_.replay_ps += session->replayed_ps();
@@ -289,8 +320,8 @@ void Shard::dispatch(std::size_t lane, std::vector<SessionOutcome>& out) {
   if (!session) {
     const auto profile = cache_->profile(req.benchmark);
     const core::TrainedModels& models = cache_->get(req.benchmark);
-    session = std::make_unique<core::DetectionSession>(profile, models, model,
-                                                       req.engine, opts);
+    session = std::make_unique<core::DetectionSession>(
+        profile, models, model, req.engine, opts, ensemble_source);
   }
   const sim::Picoseconds base = session->now();
 
@@ -341,7 +372,9 @@ void Shard::dispatch(std::size_t lane, std::vector<SessionOutcome>& out) {
     rec.tenant = req.tenant;
     rec.ticket = req.ticket;
     rec.sample.at_ps = at;
-    rec.sample.score = session->last_score();
+    // The consensus score is what the fleet watches; for a plain session
+    // it degenerates to the device score, byte-identically.
+    rec.sample.score = session->last_consensus_score();
     rec.sample.flagged = session->anomaly_flags() > prev_flags;
     rec.sample.health = next_health;
     next_health = 0;
@@ -434,6 +467,10 @@ void Shard::dispatch(std::size_t lane, std::vector<SessionOutcome>& out) {
     ++stats_.completed_pft;
   }
   if (o.degraded) stats_.degraded_inferences += o.detection.inferences;
+  stats_.ensemble_swaps += o.detection.ensemble_swaps;
+  stats_.consensus_flags += o.detection.consensus_flags;
+  stats_.consensus_overrides += o.detection.consensus_overrides;
+  stats_.member_evals += o.detection.member_evals;
   out.push_back(std::move(o));
 }
 

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "rtad/core/experiment_runner.hpp"
+#include "rtad/ensemble/ensemble_manager.hpp"
 #include "rtad/serve/admission.hpp"
 #include "rtad/serve/checkpoint_store.hpp"
 #include "rtad/serve/fault_domain.hpp"
@@ -114,6 +115,11 @@ struct ShardConfig {
   std::uint64_t checkpoint_every = 8;
   /// CheckpointStore byte cap (0 = unbounded).
   std::uint64_t checkpoint_cap_bytes = 0;
+  /// Rolling-ensemble shape applied to every episode (base_ps is stamped
+  /// per request with its origin arrival, so the retrain cadence rides the
+  /// fleet clock and survives failover). Inactive by default — episodes
+  /// are then byte-identical to the pre-ensemble shard.
+  core::EnsembleParams ensemble{};
 };
 
 /// Aggregate shard health, harvested after run().
@@ -149,12 +155,23 @@ struct ShardStats {
   sim::Sampler checkpoint_bytes;        ///< size of every blob serialized
   sim::Sampler evicted_blob_bytes;      ///< blob sizes the store cap shed
   sim::Sampler recovery_latency_us;     ///< orphaned → restored-start gap
+
+  // --- ensemble accounting (all zero without an active ensemble). Summed
+  // from completed episodes only, so a session that parks and recovers
+  // counts once, with its full replayed history. ---
+  std::uint64_t ensemble_swaps = 0;
+  std::uint64_t consensus_flags = 0;
+  std::uint64_t consensus_overrides = 0;
+  std::uint64_t member_evals = 0;
 };
 
 class Shard {
  public:
+  /// `ensembles` may be null (required non-null when cfg.ensemble is
+  /// active); not owned, must outlive the shard.
   Shard(std::size_t id, ShardConfig cfg,
-        std::shared_ptr<core::TrainedModelCache> cache);
+        std::shared_ptr<core::TrainedModelCache> cache,
+        ensemble::EnsembleManager* ensembles = nullptr);
 
   std::size_t id() const noexcept { return id_; }
   const ShardConfig& config() const noexcept { return cfg_; }
@@ -218,6 +235,7 @@ class Shard {
   std::size_t id_;
   ShardConfig cfg_;
   std::shared_ptr<core::TrainedModelCache> cache_;
+  ensemble::EnsembleManager* ensembles_ = nullptr;
   std::vector<SessionRequest> staged_;
   std::vector<SessionRequest> retry_queue_;  ///< min-heap by (arrival, ticket)
   std::vector<sim::Picoseconds> lane_free_at_;

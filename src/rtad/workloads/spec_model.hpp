@@ -18,6 +18,36 @@
 
 namespace rtad::workloads {
 
+/// Deterministic workload-drift schedule: the profile's branch-bias
+/// parameters shift on a fixed cycle of `phases` phases, each `period_us`
+/// of *nominal program time* (instructions retired x the host's nominal
+/// cycle — see kNominalPsPerInstr in trace_generator.hpp) long. The phase
+/// is a pure function of that clock, so drift is byte-identical across
+/// scheduler kernels, backends and worker counts; and none of the phase
+/// effects add or remove RNG draws, so an inactive schedule leaves the
+/// event stream bit-identical to a profile without one.
+struct DriftSchedule {
+  std::uint64_t period_us = 0;  ///< phase length, simulated us; 0 = off
+  std::uint32_t phases = 1;     ///< schedule cycles through this many phases
+  /// Call-walk step bias: phase 0 is neutral, odd phases lean +bias, even
+  /// phases -bias. Skews which function cluster the walk dwells in, which
+  /// restructures the monitored-call token sequence the LSTM sees.
+  std::int64_t walk_bias = 0;
+  /// Per-phase syscall-id rotation: id' = (id + phase * rotate) % kinds.
+  /// Moves the head of the syscall popularity distribution between kernel
+  /// entries, which shifts the ELM's input histograms between buckets.
+  std::uint32_t syscall_rotate = 0;
+  /// Conditional taken-rate modulation: odd phases +swing, even -swing.
+  double taken_swing = 0.0;
+
+  bool active() const noexcept { return period_us != 0 && phases > 1; }
+  std::uint32_t phase_at_ps(std::uint64_t ps) const noexcept {
+    if (!active()) return 0;
+    const std::uint64_t period_ps = period_us * 1'000'000ULL;
+    return static_cast<std::uint32_t>((ps / period_ps) % phases);
+  }
+};
+
 struct SpecProfile {
   std::string name;  ///< e.g. "471.omnetpp"
 
@@ -43,6 +73,10 @@ struct SpecProfile {
   double syscall_zipf_skew = 1.2;
 
   std::uint64_t code_base = 0x0001'0000;
+
+  /// Optional drift schedule (inactive for the calibrated SPEC catalog;
+  /// benches construct drifting variants).
+  DriftSchedule drift{};
 };
 
 /// All twelve SPEC CINT2006 benchmarks, calibrated.

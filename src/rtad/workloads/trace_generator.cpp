@@ -25,8 +25,10 @@ std::size_t function_count(const SpecProfile& p) {
 }
 }  // namespace
 
-TraceGenerator::TraceGenerator(const SpecProfile& profile, std::uint64_t seed)
+TraceGenerator::TraceGenerator(const SpecProfile& profile, std::uint64_t seed,
+                               DriftCursor drift)
     : profile_(profile),
+      drift_(drift),
       rng_(seed),
       site_zipf_(std::min(profile.phase_window, profile.branch_sites),
                  profile.zipf_skew),
@@ -53,6 +55,14 @@ TraceGenerator::TraceGenerator(const SpecProfile& profile, std::uint64_t seed)
       static_cast<std::int64_t>(1 + syscall_geo_.sample(rng_));
 }
 
+std::uint32_t TraceGenerator::drift_phase() const noexcept {
+  if (!profile_.drift.active()) return 0;
+  const std::uint64_t at =
+      drift_.frozen ? drift_.base_ps
+                    : drift_.base_ps + instructions_ * kNominalPsPerInstr;
+  return profile_.drift.phase_at_ps(at);
+}
+
 std::uint64_t TraceGenerator::sample_site_in_phase() {
   const std::size_t idx = phase_offset_ + site_zipf_.sample(rng_);
   return sites_[idx % sites_.size()];
@@ -75,6 +85,10 @@ TraceStep TraceGenerator::next() {
   instructions_ += gap + 1;  // the branch is an instruction too
   ++branches_;
   maybe_switch_phase();
+  // Drift phase of this branch. Every phase effect below reshapes an
+  // existing draw — none adds or removes one — so generators with and
+  // without an active schedule stay in RNG lockstep.
+  const std::uint32_t drift_ph = drift_phase();
 
   cpu::BranchEvent& ev = step.event;
   ev.source = sample_site_in_phase();
@@ -83,7 +97,11 @@ TraceStep TraceGenerator::next() {
   instrs_until_syscall_ -= gap + 1;
   if (instrs_until_syscall_ <= 0) {
     ev.kind = cpu::BranchKind::kSyscall;
-    ev.target = syscall_address(syscall_zipf_.sample(rng_));
+    std::size_t id = syscall_zipf_.sample(rng_);
+    id = (id + static_cast<std::size_t>(drift_ph) *
+                   profile_.drift.syscall_rotate) %
+         profile_.syscall_kinds;
+    ev.target = syscall_address(id);
     instrs_until_syscall_ =
         static_cast<std::int64_t>(1 + syscall_geo_.sample(rng_));
     return step;
@@ -102,7 +120,11 @@ TraceStep TraceGenerator::next() {
       const std::int64_t raw =
           static_cast<std::int64_t>(rng_.uniform_below(2 * kCallWalkSpan)) -
           kCallWalkSpan;
-      const std::int64_t step = raw >= 0 ? raw + 1 : raw;
+      std::int64_t step = raw >= 0 ? raw + 1 : raw;
+      if (drift_ph != 0) {
+        step += (drift_ph % 2 != 0) ? profile_.drift.walk_bias
+                                    : -profile_.drift.walk_bias;
+      }
       // Saturate at the ends (no wrap-around: index distance is "module
       // distance", and the hot head must not leak into the deep tail).
       const auto n = static_cast<std::int64_t>(funcs_.size());
@@ -125,7 +147,13 @@ TraceStep TraceGenerator::next() {
     ev.target = sample_site_in_phase();
   } else {
     ev.kind = cpu::BranchKind::kConditional;
-    ev.taken = rng_.chance(profile_.cond_taken_rate);
+    double taken_rate = profile_.cond_taken_rate;
+    if (drift_ph != 0) {
+      taken_rate += (drift_ph % 2 != 0) ? profile_.drift.taken_swing
+                                        : -profile_.drift.taken_swing;
+      taken_rate = std::clamp(taken_rate, 0.01, 0.99);
+    }
+    ev.taken = rng_.chance(taken_rate);
     // Short forward/backward offset; atoms do not carry it, but keeping a
     // plausible target makes the event stream self-consistent.
     const std::uint64_t offset = (rng_.uniform_below(64) + 1) * 2;

@@ -31,9 +31,25 @@ inline constexpr std::uint64_t kSyscallStride = 32;
 /// to first order, exactly this Zipf (restart rate x mean dwell cancel).
 inline constexpr double kFuncRestartSkew = 1.1;
 
+/// Nominal program time per retired instruction: the HostCpu retires one
+/// instruction per 250 MHz cycle, so the generator's drift clock advances
+/// 4000 ps per instruction. Shared by the online SoC and offline dataset
+/// builders so both sides of a training snapshot agree on the phase.
+inline constexpr std::uint64_t kNominalPsPerInstr = 4'000;
+
+/// Where on the drift timeline a generator starts, and whether it advances.
+/// Offline dataset builders freeze the phase (a training snapshot is taken
+/// at one instant of the drift schedule); the online generator drifts with
+/// nominal program time (base_ps + instructions x kNominalPsPerInstr).
+struct DriftCursor {
+  std::uint64_t base_ps = 0;
+  bool frozen = false;
+};
+
 class TraceGenerator {
  public:
-  TraceGenerator(const SpecProfile& profile, std::uint64_t seed);
+  TraceGenerator(const SpecProfile& profile, std::uint64_t seed,
+                 DriftCursor drift = {});
 
   /// Produce the next step of the synthetic program.
   TraceStep next();
@@ -62,11 +78,15 @@ class TraceGenerator {
     return kSyscallBase + kSyscallStride * id;
   }
 
+  /// Drift phase the *next* emitted branch falls in (0 when inactive).
+  std::uint32_t drift_phase() const noexcept;
+
  private:
   std::uint64_t sample_site_in_phase();
   void maybe_switch_phase();
 
   const SpecProfile profile_;  // by value: generator owns its configuration
+  DriftCursor drift_{};
   sim::Xoshiro256 rng_;
   sim::ZipfSampler site_zipf_;        ///< over the phase window
   sim::ZipfSampler func_restart_zipf_;  ///< call-walk restart distribution

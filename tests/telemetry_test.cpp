@@ -16,7 +16,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -359,6 +361,52 @@ TEST(TelemetryQuery, RankPrefersRecentFlagsAndBreaksTiesByName) {
   const auto head = rank_tenants(store, early);
   ASSERT_FALSE(head.empty());
   EXPECT_EQ(head[0].tenant, "warm");
+}
+
+TEST(TelemetryQuery, HalfLifeKnobReplacesTheSpanQuarterDefault) {
+  constexpr const char* kVar = "RTAD_TELEMETRY_HALF_LIFE_US";
+  ASSERT_EQ(unsetenv(kVar), 0);
+  // Unset: no knob half-life — rank_tenants falls through to span/4.
+  EXPECT_EQ(default_half_life_ps(), 0u);
+
+  StoreConfig cfg;
+  cfg.page_samples = 4;
+  TelemetryStore store(cfg);
+  for (int i = 0; i < 16; ++i) {
+    store.append("warm", make_sample(100 * (i + 1), 0.5, i < 4));
+    store.append("hot", make_sample(100 * (i + 1), 0.5, i >= 12));
+  }
+
+  // The knob is read per query and pins the documented unit (simulated
+  // microseconds): a query with the knob set equals one passing the same
+  // half-life explicitly, field for field.
+  ASSERT_EQ(setenv(kVar, "250", 1), 0);
+  EXPECT_EQ(default_half_life_ps(), 250u * 1'000'000ULL);
+  const auto via_knob = rank_tenants(store);
+  ASSERT_EQ(unsetenv(kVar), 0);
+  RankQuery explicit_hl;
+  explicit_hl.half_life_ps = 250u * 1'000'000ULL;
+  const auto via_query = rank_tenants(store, explicit_hl);
+  ASSERT_EQ(via_knob.size(), via_query.size());
+  for (std::size_t i = 0; i < via_knob.size(); ++i) {
+    EXPECT_EQ(via_knob[i].tenant, via_query[i].tenant);
+    EXPECT_EQ(via_knob[i].severity, via_query[i].severity);
+    EXPECT_EQ(via_knob[i].samples, via_query[i].samples);
+  }
+
+  // An explicit half-life on the query wins over the knob.
+  ASSERT_EQ(setenv(kVar, "999999", 1), 0);
+  const auto overridden = rank_tenants(store, explicit_hl);
+  ASSERT_EQ(overridden.size(), via_query.size());
+  for (std::size_t i = 0; i < overridden.size(); ++i) {
+    EXPECT_EQ(overridden[i].severity, via_query[i].severity);
+  }
+
+  // Malformed values throw the strict env grammar's named error rather
+  // than silently decaying to span/4.
+  ASSERT_EQ(setenv(kVar, "soon", 1), 0);
+  EXPECT_THROW(rank_tenants(store), std::invalid_argument);
+  ASSERT_EQ(unsetenv(kVar), 0);
 }
 
 }  // namespace

@@ -189,5 +189,86 @@ TEST(TraceGenerator, TakeBatches) {
   EXPECT_EQ(gen.branches_emitted(), 100u);
 }
 
+TEST(DriftSchedule, PhaseIsAPureFunctionOfNominalTime) {
+  DriftSchedule d;
+  EXPECT_FALSE(d.active());  // catalog default: no drift
+  d.period_us = 2'000;
+  d.phases = 4;
+  EXPECT_TRUE(d.active());
+  const std::uint64_t period_ps = d.period_us * 1'000'000ULL;
+  EXPECT_EQ(d.phase_at_ps(0), 0u);
+  EXPECT_EQ(d.phase_at_ps(period_ps - 1), 0u);
+  EXPECT_EQ(d.phase_at_ps(period_ps), 1u);
+  EXPECT_EQ(d.phase_at_ps(3 * period_ps), 3u);
+  EXPECT_EQ(d.phase_at_ps(4 * period_ps), 0u);  // wraps
+  EXPECT_EQ(d.phase_at_ps(9 * period_ps + 5), 1u);
+
+  // period without phases, and phases without a period, are both off.
+  d.phases = 1;
+  EXPECT_FALSE(d.active());
+  EXPECT_EQ(d.phase_at_ps(7 * period_ps), 0u);
+  d.phases = 4;
+  d.period_us = 0;
+  EXPECT_FALSE(d.active());
+}
+
+TEST(TraceGenerator, InactiveDriftLeavesTheStreamBitIdentical) {
+  const auto& plain = find_profile("gcc");
+  auto decorated = plain;
+  decorated.drift.period_us = 2'000;  // phases == 1: schedule inactive
+  decorated.drift.syscall_rotate = 7;
+  decorated.drift.taken_swing = 0.2;
+
+  TraceGenerator a(plain, 7);
+  TraceGenerator b(decorated, 7);
+  for (int i = 0; i < 3'000; ++i) {
+    const auto sa = a.next();
+    const auto sb = b.next();
+    ASSERT_EQ(sa.instr_gap, sb.instr_gap) << i;
+    ASSERT_EQ(sa.event.source, sb.event.source) << i;
+    ASSERT_EQ(sa.event.target, sb.event.target) << i;
+    ASSERT_EQ(static_cast<int>(sa.event.kind),
+              static_cast<int>(sb.event.kind))
+        << i;
+  }
+  EXPECT_EQ(b.drift_phase(), 0u);
+}
+
+TEST(TraceGenerator, DriftCursorFreezesOrAdvancesThePhase) {
+  auto p = find_profile("gcc");
+  p.drift.period_us = 100;  // 25k instructions per phase at 4000 ps/instr
+  p.drift.phases = 4;
+  p.drift.syscall_rotate = 3;
+  const std::uint64_t period_ps = p.drift.period_us * 1'000'000ULL;
+
+  // A frozen cursor pins the phase at its snapshot instant forever — the
+  // offline dataset builder's view of one training window.
+  TraceGenerator frozen(p, 11, DriftCursor{2 * period_ps + 5, true});
+  EXPECT_EQ(frozen.drift_phase(), 2u);
+  frozen.take(20'000);
+  EXPECT_EQ(frozen.drift_phase(), 2u);
+
+  // The online cursor walks the schedule with nominal program time and
+  // wraps: by 5 phases of instructions it has cycled back past phase 0.
+  TraceGenerator online(p, 11, DriftCursor{0, false});
+  EXPECT_EQ(online.drift_phase(), 0u);
+  std::uint32_t seen_max = 0;
+  bool wrapped = false;
+  while (online.instructions_emitted() * kNominalPsPerInstr <
+         5 * period_ps) {
+    const std::uint32_t phase = online.drift_phase();
+    if (phase > seen_max) seen_max = phase;
+    if (seen_max == p.drift.phases - 1 && phase == 0) wrapped = true;
+    online.next();
+  }
+  EXPECT_EQ(seen_max, p.drift.phases - 1);
+  EXPECT_TRUE(wrapped);
+
+  // And the base offset seats the start mid-schedule, like a serve tenant
+  // admitted at fleet time T.
+  TraceGenerator offset(p, 11, DriftCursor{3 * period_ps, false});
+  EXPECT_EQ(offset.drift_phase(), 3u);
+}
+
 }  // namespace
 }  // namespace rtad::workloads
